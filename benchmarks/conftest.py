@@ -1,0 +1,35 @@
+"""Shared benchmark fixtures.
+
+Benchmarks measure the *analysis* step of each experiment on a shared
+simulated dataset; the simulation build itself is benchmarked separately
+in test_bench_simulation.py.  Set CLOUDWATCHING_BENCH_SCALE to change the
+population scale (default 0.5).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.context import ExperimentConfig, get_context
+
+SCALE = float(os.environ.get("CLOUDWATCHING_BENCH_SCALE", "0.5"))
+TELESCOPE = int(os.environ.get("CLOUDWATCHING_BENCH_TELESCOPE", "16"))
+
+
+def _config(year: int) -> ExperimentConfig:
+    return ExperimentConfig(year=year, scale=SCALE, telescope_slash24s=TELESCOPE, seed=777)
+
+
+@pytest.fixture(scope="session")
+def context_2021():
+    return get_context(_config(2021))
+
+
+@pytest.fixture(scope="session")
+def context_2020():
+    return get_context(_config(2020))
+
+
+@pytest.fixture(scope="session")
+def context_2022():
+    return get_context(_config(2022))

@@ -1,0 +1,9 @@
+"""Benchmark X1: regional blocklist efficacy (Section 8 future work)."""
+
+from repro.experiments.ext_blocklists import run
+
+
+def test_bench_ext_blocklists(benchmark, context_2021):
+    output = benchmark.pedantic(run, args=(context_2021,), rounds=3, iterations=1)
+    print()
+    print(output.render())

@@ -1,0 +1,9 @@
+"""Benchmark X2: scanning-campaign inference."""
+
+from repro.experiments.ext_campaigns import run
+
+
+def test_bench_ext_campaigns(benchmark, context_2021):
+    output = benchmark.pedantic(run, args=(context_2021,), rounds=3, iterations=1)
+    print()
+    print(output.render())

@@ -1,0 +1,9 @@
+"""Benchmark X4: the quantified operator report."""
+
+from repro.experiments.ext_recommendations import run
+
+
+def test_bench_ext_recommendations(benchmark, context_2021):
+    output = benchmark.pedantic(run, args=(context_2021,), rounds=2, iterations=1)
+    print()
+    print(output.render())

@@ -1,0 +1,11 @@
+"""Benchmark X3: temporal stability of the headline metrics."""
+
+from repro.experiments.ext_temporal_stability import run
+
+
+def test_bench_ext_temporal(benchmark, context_2021, context_2020, context_2022):
+    # Pre-warming the three yearly contexts via the fixtures keeps the
+    # benchmark measuring the analysis, not simulation builds.
+    output = benchmark.pedantic(run, args=(context_2021,), rounds=2, iterations=1)
+    print()
+    print(output.render())

@@ -1,0 +1,15 @@
+"""Benchmark F1: Figure 1: address-structure preferences.
+
+Regenerates the paper's Figure 1 from the shared simulated dataset
+and prints the resulting rows.
+"""
+
+from repro.experiments.figure01_address_structure import run
+
+
+def test_bench_figure01(benchmark, context_2021):
+    output = benchmark.pedantic(
+        run, args=(context_2021,), rounds=3, iterations=1, warmup_rounds=1
+    )
+    print()
+    print(output.render())

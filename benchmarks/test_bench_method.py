@@ -1,0 +1,15 @@
+"""Benchmark M1: Section 3.2 maliciousness fractions.
+
+Regenerates the paper's Section 3.2 maliciousness fractions from the shared simulated dataset
+and prints the resulting rows.
+"""
+
+from repro.experiments.method_maliciousness import run
+
+
+def test_bench_method(benchmark, context_2021):
+    output = benchmark.pedantic(
+        run, args=(context_2021,), rounds=3, iterations=1, warmup_rounds=1
+    )
+    print()
+    print(output.render())

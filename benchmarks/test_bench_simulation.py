@@ -1,0 +1,40 @@
+"""Benchmark the simulation substrate itself: workload generation cost.
+
+Measures (a) building the Table 1 deployment, (b) building the scanner
+population, and (c) running one full simulated week at the benchmark
+scale — the end-to-end cost of regenerating the dataset every experiment
+consumes.
+"""
+
+from benchmarks.conftest import SCALE, TELESCOPE
+from repro.deployment.fleet import build_full_deployment
+from repro.scanners.population import PopulationConfig, build_population
+from repro.sim.engine import SimulationConfig, run_simulation
+from repro.sim.rng import RngHub
+
+
+def test_bench_build_deployment(benchmark):
+    deployment = benchmark.pedantic(
+        build_full_deployment, args=(RngHub(1),),
+        kwargs={"num_telescope_slash24s": TELESCOPE}, rounds=3, iterations=1,
+    )
+    assert deployment.telescope is not None
+
+
+def test_bench_build_population(benchmark):
+    population = benchmark.pedantic(
+        build_population, args=(PopulationConfig(year=2021, scale=SCALE),),
+        rounds=3, iterations=1,
+    )
+    assert population
+
+
+def test_bench_full_simulation(benchmark):
+    deployment = build_full_deployment(RngHub(1), num_telescope_slash24s=TELESCOPE)
+    population = build_population(PopulationConfig(year=2021, scale=SCALE))
+
+    def _run():
+        return run_simulation(deployment, population, SimulationConfig(seed=2))
+
+    result = benchmark.pedantic(_run, rounds=2, iterations=1)
+    print(f"\nsimulated events: {result.total_events()}")

@@ -1,0 +1,15 @@
+"""Benchmark T1: Table 1: vantage-point summary.
+
+Regenerates the paper's Table 1 from the shared simulated dataset
+and prints the resulting rows.
+"""
+
+from repro.experiments.table01_vantage_points import run
+
+
+def test_bench_table01(benchmark, context_2021):
+    output = benchmark.pedantic(
+        run, args=(context_2021,), rounds=3, iterations=1, warmup_rounds=1
+    )
+    print()
+    print(output.render())

@@ -1,0 +1,15 @@
+"""Benchmark T2: Table 2: neighboring-service differences.
+
+Regenerates the paper's Table 2 from the shared simulated dataset
+and prints the resulting rows.
+"""
+
+from repro.experiments.table02_neighborhoods import run
+
+
+def test_bench_table02(benchmark, context_2021):
+    output = benchmark.pedantic(
+        run, args=(context_2021,), rounds=3, iterations=1, warmup_rounds=1
+    )
+    print()
+    print(output.render())

@@ -1,0 +1,15 @@
+"""Benchmark T3: Table 3: search-engine leak experiment.
+
+Regenerates the paper's Table 3 from the shared simulated dataset
+and prints the resulting rows.
+"""
+
+from repro.experiments.table03_search_engines import run
+
+
+def test_bench_table03(benchmark, context_2021):
+    output = benchmark.pedantic(
+        run, args=(context_2021,), rounds=3, iterations=1, warmup_rounds=1
+    )
+    print()
+    print(output.render())

@@ -1,0 +1,15 @@
+"""Benchmark T4: Table 4: most-different regions.
+
+Regenerates the paper's Table 4 from the shared simulated dataset
+and prints the resulting rows.
+"""
+
+from repro.experiments.table04_geo_most_different import run
+
+
+def test_bench_table04(benchmark, context_2021):
+    output = benchmark.pedantic(
+        run, args=(context_2021,), rounds=3, iterations=1, warmup_rounds=1
+    )
+    print()
+    print(output.render())

@@ -1,0 +1,15 @@
+"""Benchmark T5: Table 5: geographic similarity.
+
+Regenerates the paper's Table 5 from the shared simulated dataset
+and prints the resulting rows.
+"""
+
+from repro.experiments.table05_geo_similarity import run
+
+
+def test_bench_table05(benchmark, context_2021):
+    output = benchmark.pedantic(
+        run, args=(context_2021,), rounds=3, iterations=1, warmup_rounds=1
+    )
+    print()
+    print(output.render())

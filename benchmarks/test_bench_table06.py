@@ -1,0 +1,15 @@
+"""Benchmark T6: Table 6: co-located clouds.
+
+Regenerates the paper's Table 6 from the shared simulated dataset
+and prints the resulting rows.
+"""
+
+from repro.experiments.table06_colocated import run
+
+
+def test_bench_table06(benchmark, context_2021):
+    output = benchmark.pedantic(
+        run, args=(context_2021,), rounds=3, iterations=1, warmup_rounds=1
+    )
+    print()
+    print(output.render())

@@ -1,0 +1,15 @@
+"""Benchmark T7: Table 7: network-type differences.
+
+Regenerates the paper's Table 7 from the shared simulated dataset
+and prints the resulting rows.
+"""
+
+from repro.experiments.table07_network_types import run
+
+
+def test_bench_table07(benchmark, context_2021):
+    output = benchmark.pedantic(
+        run, args=(context_2021,), rounds=3, iterations=1, warmup_rounds=1
+    )
+    print()
+    print(output.render())

@@ -1,0 +1,15 @@
+"""Benchmark T8: Table 8: scanner/telescope overlap.
+
+Regenerates the paper's Table 8 from the shared simulated dataset
+and prints the resulting rows.
+"""
+
+from repro.experiments.table08_telescope_overlap import run
+
+
+def test_bench_table08(benchmark, context_2021):
+    output = benchmark.pedantic(
+        run, args=(context_2021,), rounds=3, iterations=1, warmup_rounds=1
+    )
+    print()
+    print(output.render())

@@ -1,0 +1,15 @@
+"""Benchmark T9: Table 9: attacker/telescope overlap.
+
+Regenerates the paper's Table 9 from the shared simulated dataset
+and prints the resulting rows.
+"""
+
+from repro.experiments.table09_attacker_overlap import run
+
+
+def test_bench_table09(benchmark, context_2021):
+    output = benchmark.pedantic(
+        run, args=(context_2021,), rounds=3, iterations=1, warmup_rounds=1
+    )
+    print()
+    print(output.render())

@@ -1,0 +1,15 @@
+"""Benchmark T10: Table 10: telescope AS differences.
+
+Regenerates the paper's Table 10 from the shared simulated dataset
+and prints the resulting rows.
+"""
+
+from repro.experiments.table10_telescope_as import run
+
+
+def test_bench_table10(benchmark, context_2021):
+    output = benchmark.pedantic(
+        run, args=(context_2021,), rounds=3, iterations=1, warmup_rounds=1
+    )
+    print()
+    print(output.render())

@@ -1,0 +1,15 @@
+"""Benchmark T11: Table 11: unexpected protocols.
+
+Regenerates the paper's Table 11 from the shared simulated dataset
+and prints the resulting rows.
+"""
+
+from repro.experiments.table11_unexpected_protocols import run
+
+
+def test_bench_table11(benchmark, context_2021):
+    output = benchmark.pedantic(
+        run, args=(context_2021,), rounds=3, iterations=1, warmup_rounds=1
+    )
+    print()
+    print(output.render())

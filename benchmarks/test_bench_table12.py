@@ -1,0 +1,15 @@
+"""Benchmark T12: Table 12: 2020 neighborhoods.
+
+Regenerates the paper's Table 12 from the shared simulated dataset
+and prints the resulting rows.
+"""
+
+from repro.experiments.temporal import run_table12
+
+
+def test_bench_table12(benchmark, context_2020):
+    output = benchmark.pedantic(
+        run_table12, args=(context_2020,), rounds=3, iterations=1, warmup_rounds=1
+    )
+    print()
+    print(output.render())

@@ -1,0 +1,15 @@
+"""Benchmark T13: Table 13: 2020 geographic similarity.
+
+Regenerates the paper's Table 13 from the shared simulated dataset
+and prints the resulting rows.
+"""
+
+from repro.experiments.temporal import run_table13
+
+
+def test_bench_table13(benchmark, context_2020):
+    output = benchmark.pedantic(
+        run_table13, args=(context_2020,), rounds=3, iterations=1, warmup_rounds=1
+    )
+    print()
+    print(output.render())

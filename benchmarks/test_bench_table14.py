@@ -1,0 +1,15 @@
+"""Benchmark T14: Table 14: 2022 network types.
+
+Regenerates the paper's Table 14 from the shared simulated dataset
+and prints the resulting rows.
+"""
+
+from repro.experiments.temporal import run_table14
+
+
+def test_bench_table14(benchmark, context_2022):
+    output = benchmark.pedantic(
+        run_table14, args=(context_2022,), rounds=3, iterations=1, warmup_rounds=1
+    )
+    print()
+    print(output.render())

@@ -1,0 +1,15 @@
+"""Benchmark T15: Table 15: 2022 telescope ASes.
+
+Regenerates the paper's Table 15 from the shared simulated dataset
+and prints the resulting rows.
+"""
+
+from repro.experiments.temporal import run_table15
+
+
+def test_bench_table15(benchmark, context_2022):
+    output = benchmark.pedantic(
+        run_table15, args=(context_2022,), rounds=3, iterations=1, warmup_rounds=1
+    )
+    print()
+    print(output.render())

@@ -1,0 +1,15 @@
+"""Benchmark T16: Table 16: 2020 most-different regions.
+
+Regenerates the paper's Table 16 from the shared simulated dataset
+and prints the resulting rows.
+"""
+
+from repro.experiments.temporal import run_table16
+
+
+def test_bench_table16(benchmark, context_2020):
+    output = benchmark.pedantic(
+        run_table16, args=(context_2020,), rounds=3, iterations=1, warmup_rounds=1
+    )
+    print()
+    print(output.render())

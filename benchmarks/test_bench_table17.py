@@ -1,0 +1,15 @@
+"""Benchmark T17: Table 17: 2022 unexpected protocols.
+
+Regenerates the paper's Table 17 from the shared simulated dataset
+and prints the resulting rows.
+"""
+
+from repro.experiments.temporal import run_table17
+
+
+def test_bench_table17(benchmark, context_2022):
+    output = benchmark.pedantic(
+        run_table17, args=(context_2022,), rounds=3, iterations=1, warmup_rounds=1
+    )
+    print()
+    print(output.render())

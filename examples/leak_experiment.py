@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The Section 4.3 search-engine leak experiment, end to end.
+
+Deploys control / previously-leaked / selectively-leaked honeypot groups,
+lets the Censys and Shodan models crawl (with per-service blocklists),
+runs the attacker population, and measures how being *indexed* changes
+the traffic a service receives — the paper's Table 3.
+
+Run:  python examples/leak_experiment.py [scale]
+"""
+
+import sys
+
+from repro.analysis.dataset import AnalysisDataset
+from repro.analysis.leak import leak_report, unique_credentials_per_group
+from repro.deployment.fleet import build_full_deployment
+from repro.reporting.tables import render_table
+from repro.scanners.population import PopulationConfig, build_population
+from repro.sim.engine import SimulationConfig, run_simulation
+from repro.sim.rng import RngHub
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.4
+    deployment = build_full_deployment(RngHub(42), num_telescope_slash24s=4)
+    experiment = deployment.leak_experiment
+
+    print("experiment layout:")
+    print(f"  control honeypots:           {len(experiment.control_ips)} IPs (both engines blocked)")
+    print(f"  previously leaked honeypots: {len(experiment.previously_leaked_ips)} IPs "
+          "(HTTP page indexed for 2 years, engines now blocked)")
+    for group in experiment.leak_groups:
+        print(f"  leaked to {group.engine:<6}: {group.protocol}/{group.port} on {len(group.ips)} IPs")
+
+    population = build_population(PopulationConfig(year=2021, scale=scale))
+    result = run_simulation(deployment, population, SimulationConfig(seed=11))
+    dataset = AnalysisDataset.from_simulation(result)
+
+    print(f"\nsimulated {result.total_events():,} events; Censys indexed "
+          f"{len(result.engines['censys'].index)} services, Shodan "
+          f"{len(result.engines['shodan'].index)}\n")
+
+    rows = leak_report(dataset)
+    rendered = []
+    for row in rows:
+        fold = f"{row.fold:.1f}x"
+        markers = ("BOLD " if row.stochastically_greater else "") + (
+            "SPIKES" if row.distribution_differs else ""
+        )
+        rendered.append((row.service, row.group, row.traffic, fold, markers.strip()))
+    print(render_table(
+        ["Service", "Group", "Traffic", "Fold increase/hr vs control", "Significance"],
+        rendered,
+        title="Table 3: impact of Internet service search engines",
+    ))
+
+    passwords = unique_credentials_per_group(dataset, port=22)
+    print("\nunique SSH passwords tried per honeypot (leaked services attract "
+          "deeper brute force):")
+    for group, average in sorted(passwords.items()):
+        print(f"  {group:<8} {average:5.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a week of Internet scanning and analyze it.
+
+Builds the paper's vantage-point fleet (GreyNoise clouds + Honeytrap
+education networks + the Orion telescope), runs the calibrated 2021
+scanner population against it, and answers two of the paper's headline
+questions from the captured traffic:
+
+1. Do attackers avoid network telescopes?  (Table 8)
+2. How much traffic is actually malicious? (Section 3.2)
+
+Run:  python examples/quickstart.py [scale]
+"""
+
+import sys
+import time
+
+from repro.analysis.dataset import AnalysisDataset
+from repro.analysis.overlap import scanner_overlap
+from repro.analysis.ports import methodology_numbers
+from repro.deployment.fleet import build_full_deployment
+from repro.reporting.tables import pct_cell, render_table
+from repro.scanners.population import PopulationConfig, build_population
+from repro.sim.engine import SimulationConfig, run_simulation
+from repro.sim.rng import RngHub
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.3
+
+    print(f"building deployment + population (scale={scale}) ...")
+    deployment = build_full_deployment(RngHub(42), num_telescope_slash24s=8)
+    population = build_population(PopulationConfig(year=2021, scale=scale))
+    print(f"  {len(deployment.honeypots)} honeypots, "
+          f"{deployment.telescope.num_ips} telescope IPs, "
+          f"{len(population)} scanning campaigns")
+
+    started = time.time()
+    result = run_simulation(deployment, population, SimulationConfig(seed=7))
+    print(f"simulated one week in {time.time() - started:.1f}s "
+          f"({result.total_events():,} honeypot events)\n")
+
+    dataset = AnalysisDataset.from_simulation(result)
+
+    print("Do attackers avoid telescopes?  (paper Table 8)")
+    rows = scanner_overlap(dataset)
+    print(render_table(
+        ["Port", "% cloud scanners also in telescope", "% EDU scanners also in telescope"],
+        [(r.port, pct_cell(r.telescope_cloud_pct), pct_cell(r.telescope_edu_pct))
+         for r in rows],
+    ))
+    ssh = next(r for r in rows if r.port == 22)
+    telnet = next(r for r in rows if r.port == 23)
+    print(f"\n=> SSH scanners avoid the telescope ({ssh.telescope_cloud_pct:.0f}% overlap) "
+          f"while Telnet botnets do not ({telnet.telescope_cloud_pct:.0f}%) — "
+          "a darknet-only study would miss most SSH attackers.\n")
+
+    numbers = methodology_numbers(dataset)
+    print("How much traffic is malicious?  (paper Section 3.2)")
+    print(f"  Telnet sessions without a login attempt: {numbers.telnet_non_auth_pct:.0f}%")
+    print(f"  SSH sessions without a login attempt:    {numbers.ssh_non_auth_pct:.0f}%")
+    print(f"  HTTP/80 requests without an exploit:     {numbers.http80_non_exploit_pct:.0f}%")
+    print(f"  Distinct HTTP payloads that are malicious: "
+          f"{numbers.distinct_http_payloads_malicious_pct:.0f}%")
+
+
+if __name__ == "__main__":
+    main()

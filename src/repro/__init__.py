@@ -1,0 +1,20 @@
+"""cloudwatching: a reproduction of "Cloud Watching: Understanding Attacks
+Against Cloud-Hosted Services" (IMC 2023).
+
+Layers (bottom to top):
+
+* :mod:`repro.net` — IPv4 addressing, AS registry, geography, packets.
+* :mod:`repro.sim` — clock, RNG streams, event schema, traffic engine.
+* :mod:`repro.scanners` — scanner-population models (the workload).
+* :mod:`repro.honeypots` — capture frameworks + live asyncio honeypots.
+* :mod:`repro.searchengines` — Censys/Shodan crawl+index models.
+* :mod:`repro.detection` — IDS rules, LZR fingerprinting, reputation.
+* :mod:`repro.deployment` — the paper's Table 1 fleet geometry.
+* :mod:`repro.stats` — the Section 3.3/4.3 statistical methodology.
+* :mod:`repro.analysis` — table/figure analysis pipelines.
+* :mod:`repro.experiments` — one driver per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,79 @@
+"""Analysis pipelines that regenerate the paper's tables and figures."""
+
+from repro.analysis.blocklists import (
+    BlocklistCoverage,
+    RegionalCell,
+    blocklist_coverage,
+    build_blocklist,
+    regional_blocklist_matrix,
+)
+from repro.analysis.campaigns import InferredCampaign, campaign_agreement, infer_campaigns
+from repro.analysis.commands import CommandSummary, classify_command, command_summary
+from repro.analysis.coverage import GreedyStep, GroupCoverage, greedy_deployment, group_coverage
+from repro.analysis.dataset import AnalysisDataset, SLICES, TrafficSlice
+from repro.analysis.recommendations import Recommendation, operator_report
+from repro.analysis.tags import tag_distribution, tag_sources
+from repro.analysis.temporal import YearShift, year_over_year_shift
+from repro.analysis.timeseries import (
+    diurnal_strength,
+    find_diurnal_sources,
+    hourly_matrix,
+    spike_hours,
+)
+from repro.analysis.geography import (
+    GeoPairSummary,
+    MostDifferentRegion,
+    RegionProfile,
+    build_region_profiles,
+    geo_similarity,
+    most_different_regions,
+)
+from repro.analysis.leak import LeakRow, leak_report, unique_credentials_per_group
+from repro.analysis.neighborhoods import (
+    NeighborhoodCell,
+    NeighborhoodReport,
+    neighborhood_report,
+)
+from repro.analysis.networks import (
+    NetworkPairCell,
+    TelescopeCell,
+    colocated_cloud_pairs,
+    network_type_report,
+    telescope_as_report,
+)
+from repro.analysis.overlap import (
+    AttackerOverlapRow,
+    OverlapRow,
+    attacker_overlap,
+    scanner_overlap,
+)
+from repro.analysis.ports import (
+    MethodologyNumbers,
+    ProtocolBreakdownRow,
+    methodology_numbers,
+    protocol_breakdown,
+)
+from repro.analysis.structure import StructureProfile, figure1_series, structure_profile
+from repro.analysis.summary import VantageSummaryRow, vantage_summary
+
+__all__ = [
+    "AnalysisDataset", "SLICES", "TrafficSlice",
+    "BlocklistCoverage", "RegionalCell", "blocklist_coverage",
+    "build_blocklist", "regional_blocklist_matrix",
+    "InferredCampaign", "campaign_agreement", "infer_campaigns",
+    "Recommendation", "operator_report", "tag_distribution", "tag_sources",
+    "CommandSummary", "classify_command", "command_summary",
+    "GreedyStep", "GroupCoverage", "greedy_deployment", "group_coverage",
+    "YearShift", "year_over_year_shift",
+    "diurnal_strength", "find_diurnal_sources", "hourly_matrix", "spike_hours",
+    "GeoPairSummary", "MostDifferentRegion", "RegionProfile",
+    "build_region_profiles", "geo_similarity", "most_different_regions",
+    "LeakRow", "leak_report", "unique_credentials_per_group",
+    "NeighborhoodCell", "NeighborhoodReport", "neighborhood_report",
+    "NetworkPairCell", "TelescopeCell", "colocated_cloud_pairs",
+    "network_type_report", "telescope_as_report",
+    "AttackerOverlapRow", "OverlapRow", "attacker_overlap", "scanner_overlap",
+    "MethodologyNumbers", "ProtocolBreakdownRow", "methodology_numbers", "protocol_breakdown",
+    "StructureProfile", "figure1_series", "structure_profile",
+    "VantageSummaryRow", "vantage_summary",
+]

@@ -1,0 +1,152 @@
+"""Targeted-protocol analyses (paper Section 6, Tables 11 and 17) and the
+Section 3.2 methodology numbers.
+
+Table 11 asks: of the scanners that contact an HTTP-assigned port at the
+/26 Honeytrap networks, what fraction actually speaks HTTP — and what is
+the reputation split on each side?  Scanners are counted by source IP
+(the paper's "15% of scanners"), protocols are identified by LZR-style
+fingerprinting of the first payload.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.dataset import AnalysisDataset
+from repro.detection.classify import Reputation
+
+__all__ = [
+    "ProtocolBreakdownRow",
+    "protocol_breakdown",
+    "MethodologyNumbers",
+    "methodology_numbers",
+]
+
+#: Honeytrap site prefixes whose traffic feeds the Section 6 analysis
+#: (all ports observed, payloads captured; GreyNoise sensors are omitted
+#: exactly as the paper omits them).
+_HONEYTRAP_PREFIX = "ht-"
+
+
+@dataclass(frozen=True)
+class ProtocolBreakdownRow:
+    """One Table 11 row pair: HTTP vs ~HTTP on one port."""
+
+    port: int
+    expected: str  # the IANA-assigned protocol ("http")
+    matching_pct: float  # % of scanner IPs speaking the assigned protocol
+    unexpected_pct: float
+    matching_benign_pct: float
+    matching_malicious_pct: float
+    unexpected_benign_pct: float
+    unexpected_malicious_pct: float
+    unexpected_protocols: dict[str, float]  # protocol -> % of all scanners
+
+
+def protocol_breakdown(
+    dataset: AnalysisDataset, ports: Sequence[int] = (80, 8080)
+) -> list[ProtocolBreakdownRow]:
+    """Compute Table 11 over the Honeytrap networks."""
+    oracle = dataset.reputation_oracle()
+    rows: list[ProtocolBreakdownRow] = []
+    for port in ports:
+        protocol_of_source: dict[int, str] = {}
+        for event in dataset.events:
+            if event.dst_port != port or not event.vantage_id.startswith(_HONEYTRAP_PREFIX):
+                continue
+            identified = dataset.fingerprint_of(event)
+            if identified is None:
+                continue
+            # A source's protocol is whatever it spoke first at this port.
+            protocol_of_source.setdefault(event.src_ip, identified)
+
+        total = len(protocol_of_source)
+        if total == 0:
+            continue
+        matching = {src for src, proto in protocol_of_source.items() if proto == "http"}
+        unexpected = set(protocol_of_source) - matching
+
+        def _reputation_pct(sources: set[int], label: Reputation) -> float:
+            if not sources:
+                return 0.0
+            hits = sum(1 for src in sources if oracle.reputation(src) is label)
+            return 100.0 * hits / len(sources)
+
+        unexpected_mix: Counter = Counter(
+            protocol_of_source[src] for src in unexpected
+        )
+        rows.append(
+            ProtocolBreakdownRow(
+                port=port,
+                expected="http",
+                matching_pct=100.0 * len(matching) / total,
+                unexpected_pct=100.0 * len(unexpected) / total,
+                matching_benign_pct=_reputation_pct(matching, Reputation.BENIGN),
+                matching_malicious_pct=_reputation_pct(matching, Reputation.MALICIOUS),
+                unexpected_benign_pct=_reputation_pct(unexpected, Reputation.BENIGN),
+                unexpected_malicious_pct=_reputation_pct(unexpected, Reputation.MALICIOUS),
+                unexpected_protocols={
+                    protocol: 100.0 * count / total
+                    for protocol, count in sorted(unexpected_mix.items())
+                },
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class MethodologyNumbers:
+    """The Section 3.2 headline fractions."""
+
+    telnet_non_auth_pct: float  # 34% in the paper
+    ssh_non_auth_pct: float  # 24%
+    http80_non_exploit_pct: float  # 75%
+    distinct_http_payloads_malicious_pct: float  # ~6%
+
+
+def methodology_numbers(dataset: AnalysisDataset) -> MethodologyNumbers:
+    """Recompute the paper's Section 3.2 traffic-intent fractions.
+
+    Authentication-attempt fractions are only measurable at vantage
+    points that emulate logins (Cowrie — the GreyNoise honeypots), so
+    SSH/Telnet events from first-payload-only frameworks are excluded.
+    Distinct payloads are deduplicated after ephemeral-header stripping,
+    as everywhere else in the methodology.
+    """
+    from repro.scanners.payloads import strip_ephemeral_headers
+
+    telnet_total = telnet_auth = 0
+    ssh_total = ssh_auth = 0
+    http_total = http_exploit = 0
+    distinct_http: dict[bytes, bool] = {}
+
+    for event in dataset.events:
+        interactive_capture = event.vantage_id.startswith("gn-")
+        if interactive_capture and event.dst_port == 23 and event.handshake:
+            telnet_total += 1
+            if event.attempted_login:
+                telnet_auth += 1
+        elif interactive_capture and event.dst_port == 22 and event.handshake:
+            ssh_total += 1
+            if event.attempted_login:
+                ssh_auth += 1
+        if event.dst_port == 80 and event.payload:
+            if dataset.fingerprint_of(event) == "http":
+                http_total += 1
+                malicious = dataset.is_malicious(event)
+                if malicious:
+                    http_exploit += 1
+                distinct_http.setdefault(strip_ephemeral_headers(event.payload), malicious)
+
+    def _pct(part: int, whole: int) -> float:
+        return 100.0 * part / whole if whole else 0.0
+
+    distinct_malicious = sum(1 for malicious in distinct_http.values() if malicious)
+    return MethodologyNumbers(
+        telnet_non_auth_pct=_pct(telnet_total - telnet_auth, telnet_total),
+        ssh_non_auth_pct=_pct(ssh_total - ssh_auth, ssh_total),
+        http80_non_exploit_pct=_pct(http_total - http_exploit, http_total),
+        distinct_http_payloads_malicious_pct=_pct(distinct_malicious, len(distinct_http)),
+    )

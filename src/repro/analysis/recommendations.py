@@ -1,0 +1,125 @@
+"""Quantified Section 8 recommendations ("the operator report").
+
+The paper closes with recommendations for researchers and operators.
+Each one is a claim about measurement blind spots; this module evaluates
+every recommendation *numerically* on a captured dataset, producing the
+evidence an operator would need to act:
+
+1. *Collect scan traffic from networks that host services* — how many
+   attackers would a telescope-only deployment have missed?
+2. *Consider an IP address' service history* — how much extra traffic do
+   search-engine-indexed services attract?
+3. *Consider that attackers scan unexpected protocols* — how much
+   traffic would an assigned-protocol-only honeypot drop?
+4. *Account for differences amongst neighboring IPs* — how often would a
+   single-honeypot-per-region deployment have mischaracterized a region?
+5. *Deploy across geographies* — how much does an extra APAC region add
+   versus an extra US region?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.dataset import AnalysisDataset
+from repro.analysis.leak import leak_report
+from repro.analysis.neighborhoods import neighborhood_report
+from repro.analysis.overlap import attacker_overlap
+from repro.analysis.ports import protocol_breakdown
+from repro.analysis.geography import geo_similarity
+
+__all__ = ["Recommendation", "operator_report"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One quantified recommendation."""
+
+    number: int
+    title: str
+    metric: str
+    value: float
+    unit: str
+    verdict: str
+
+    def __str__(self) -> str:
+        return f"{self.number}. {self.title}: {self.metric} = {self.value:.0f}{self.unit} — {self.verdict}"
+
+
+def operator_report(dataset: AnalysisDataset) -> list[Recommendation]:
+    """Evaluate every Section 8 recommendation on the dataset."""
+    recommendations: list[Recommendation] = []
+
+    # 1. telescope blindness to attackers
+    rows = {row.port: row for row in attacker_overlap(dataset, ports=(22, 23))}
+    missed = 100.0 - (rows[22].telescope_cloud_pct or 0.0)
+    recommendations.append(
+        Recommendation(
+            1, "Collect scan traffic from networks that host services",
+            "SSH attackers invisible to a telescope", missed, "%",
+            "deploy honeypots in service-hosting networks",
+        )
+    )
+
+    # 2. service history matters
+    if dataset.leak_experiment is not None:
+        leak_rows = {(r.service, r.group, r.traffic): r for r in leak_report(dataset)}
+        best = max(
+            leak_rows[(service, group, "all")].fold
+            for service in ("HTTP/80", "SSH/22", "TELNET/23")
+            for group in ("censys", "shodan", "previously")
+            if (service, group, "all") in leak_rows
+            and np.isfinite(leak_rows[(service, group, "all")].fold)
+        )
+        recommendations.append(
+            Recommendation(
+                2, "Consider an IP address' service history",
+                "peak traffic increase on indexed services", best, "x",
+                "check Censys/Shodan history before deploying",
+            )
+        )
+
+    # 3. unexpected protocols
+    breakdown = {row.port: row for row in protocol_breakdown(dataset)}
+    if 80 in breakdown:
+        recommendations.append(
+            Recommendation(
+                3, "Consider that attackers scan unexpected protocols",
+                "port-80 scanners not speaking HTTP", breakdown[80].unexpected_pct, "%",
+                "capture all handshakes on all ports",
+            )
+        )
+
+    # 4. neighboring-IP differences
+    report = neighborhood_report(dataset)
+    as_cells = [cell for cell in report.cells if cell.characteristic == "as"]
+    worst = max(cell.percent_different for cell in as_cells) if as_cells else 0.0
+    recommendations.append(
+        Recommendation(
+            4, "Account for differences amongst neighboring IPs",
+            "neighborhoods where honeypots disagree on top ASes", worst, "%",
+            "use multiple honeypots per region + statistical tests",
+        )
+    )
+
+    # 5. geographic placement value
+    summaries = geo_similarity(dataset)
+
+    def _dissimilarity(grouping: str) -> float:
+        cells = [s for s in summaries if s.grouping == grouping and s.num_pairs > 0]
+        if not cells:
+            return 0.0
+        return 100.0 - float(np.mean([cell.percent_similar for cell in cells]))
+
+    apac_gain = _dissimilarity("APAC") - _dissimilarity("US")
+    recommendations.append(
+        Recommendation(
+            5, "Deploy honeypots across geographies",
+            "extra traffic diversity from an APAC region vs a US region",
+            apac_gain, " points",
+            "prioritize Asia-Pacific regions when adding vantage points",
+        )
+    )
+    return recommendations

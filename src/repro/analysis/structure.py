@@ -1,0 +1,95 @@
+"""Address-structure preference analysis (paper Section 4.2, Figure 1).
+
+Works on the telescope's per-destination unique-scanner counts:
+Figure 1 plots a 512-IP rolling average of those counts across the
+telescope address range; the quantitative claims compare mean scanner
+counts across structural address classes (any-255-octet, trailing-.255,
+first-of-/16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.dataset import AnalysisDataset
+from repro.honeypots.telescope import TelescopeCapture
+from repro.net.addresses import (
+    rolling_average,
+    vector_ends_in_255,
+    vector_has_255_octet,
+    vector_is_first_of_slash16,
+)
+
+__all__ = ["StructureProfile", "structure_profile", "figure1_series"]
+
+
+@dataclass(frozen=True)
+class StructureProfile:
+    """Structural-preference summary for one telescope port.
+
+    Ratios are mean-scanners(class) / mean-scanners(rest); a ratio below
+    1 means avoidance (the paper's "N times less likely" is 1/ratio), a
+    ratio above 1 means preference.
+    """
+
+    port: int
+    mean_scanners: float
+    any_255_ratio: Optional[float]
+    trailing_255_ratio: Optional[float]
+    slash16_first_ratio: Optional[float]
+    top_target_concentration: float  # max per-IP count / mean
+
+    def avoidance_factor_any_255(self) -> Optional[float]:
+        """The paper's "N times less likely" for any-255-octet addresses."""
+        if self.any_255_ratio is None or self.any_255_ratio <= 0:
+            return None
+        return 1.0 / self.any_255_ratio
+
+
+def _class_ratio(counts: np.ndarray, mask: np.ndarray) -> Optional[float]:
+    if mask.sum() == 0 or (~mask).sum() == 0:
+        return None
+    rest_mean = counts[~mask].mean()
+    if rest_mean == 0:
+        return None
+    return float(counts[mask].mean() / rest_mean)
+
+
+def structure_profile(telescope: TelescopeCapture, port: int) -> StructureProfile:
+    """Quantify structural preferences on one telescope port."""
+    counts = telescope.unique_sources_per_destination(port).astype(np.float64)
+    ips = telescope.vantage.ips
+    mean = float(counts.mean()) if counts.size else 0.0
+    return StructureProfile(
+        port=port,
+        mean_scanners=mean,
+        any_255_ratio=_class_ratio(counts, vector_has_255_octet(ips)),
+        trailing_255_ratio=_class_ratio(counts, vector_ends_in_255(ips)),
+        slash16_first_ratio=_class_ratio(counts, vector_is_first_of_slash16(ips)),
+        top_target_concentration=float(counts.max() / mean) if mean > 0 else 0.0,
+    )
+
+
+def figure1_series(
+    dataset_or_telescope: AnalysisDataset | TelescopeCapture,
+    port: int,
+    window: int = 512,
+) -> np.ndarray:
+    """The Figure 1 series: rolling average of per-IP unique scanners.
+
+    ``window`` matches the paper's 512-IP smoothing; it is clamped to
+    the telescope size for scaled-down runs.
+    """
+    telescope = (
+        dataset_or_telescope.telescope
+        if isinstance(dataset_or_telescope, AnalysisDataset)
+        else dataset_or_telescope
+    )
+    if telescope is None:
+        raise ValueError("no telescope capture available")
+    counts = telescope.unique_sources_per_destination(port).astype(np.float64)
+    effective_window = max(1, min(window, counts.size))
+    return rolling_average(counts, effective_window)

@@ -1,0 +1,75 @@
+"""Vantage-point dataset summary (paper Table 1).
+
+Counts unique scanning IPs and ASes per deployment row: each GreyNoise
+network, each Honeytrap site, and the telescope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.dataset import AnalysisDataset
+
+__all__ = ["VantageSummaryRow", "vantage_summary"]
+
+
+@dataclass(frozen=True)
+class VantageSummaryRow:
+    """One Table 1 row."""
+
+    network: str
+    collection: str  # "GreyNoise" | "Honeytrap" | "Telescope"
+    num_regions: int
+    num_vantage_ips: int
+    unique_scan_ips: int
+    unique_scan_ases: int
+
+
+def vantage_summary(dataset: AnalysisDataset) -> list[VantageSummaryRow]:
+    """Compute Table 1 for the dataset's deployment."""
+    rows: list[VantageSummaryRow] = []
+    groups: dict[tuple[str, str], list] = {}
+    for vantage in dataset.vantages:
+        if vantage.vantage_id.startswith("gn-"):
+            collection = "GreyNoise"
+        elif vantage.vantage_id.startswith(("ht-", "leak-")):
+            collection = "Honeytrap"
+        else:
+            collection = vantage.stack.name
+        groups.setdefault((vantage.network, collection), []).append(vantage)
+
+    for (network, collection), vantages in sorted(groups.items()):
+        sources: set[int] = set()
+        ases: set[int] = set()
+        regions: set[str] = set()
+        ip_total = 0
+        for vantage in vantages:
+            regions.add(vantage.region_code)
+            ip_total += vantage.num_ips
+            for event in dataset.events_for(vantage.vantage_id):
+                sources.add(event.src_ip)
+                ases.add(event.src_asn)
+        rows.append(
+            VantageSummaryRow(
+                network=network,
+                collection=collection,
+                num_regions=len(regions),
+                num_vantage_ips=ip_total,
+                unique_scan_ips=len(sources),
+                unique_scan_ases=len(ases),
+            )
+        )
+
+    if dataset.telescope is not None:
+        telescope = dataset.telescope
+        rows.append(
+            VantageSummaryRow(
+                network=telescope.vantage.network,
+                collection="Telescope",
+                num_regions=1,
+                num_vantage_ips=telescope.vantage.num_ips,
+                unique_scan_ips=telescope.total_unique_sources(),
+                unique_scan_ases=telescope.total_unique_ases(),
+            )
+        )
+    return rows

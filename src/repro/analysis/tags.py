@@ -1,0 +1,138 @@
+"""Behavioral actor tagging (GreyNoise-style).
+
+GreyNoise's product attaches human-readable tags to scanning actors
+("Mirai", "Web Crawler", "SSH Bruteforcer", …).  This module derives such
+tags from captured behavior alone — ports touched, protocols spoken,
+credential vocabulary, payload families — and is the qualitative
+companion to :mod:`repro.analysis.campaigns`' clustering.
+
+Tags are *descriptive*, not authoritative: a source can carry several.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.analysis.dataset import AnalysisDataset
+from repro.sim.events import CapturedEvent
+
+__all__ = ["SourceBehavior", "TAG_RULES", "tag_sources", "tag_distribution"]
+
+#: Credentials characteristic of Mirai-family botnets.
+_MIRAI_MARKERS = frozenset({"xc3511", "vizxv", "xmhdipc", "juantech", "7ujMko0admin", "anko"})
+#: Credentials of the Huawei-targeting APAC variant (paper Section 5.1).
+_HUAWEI_MARKERS = frozenset({"e8ehome", "e8telnet", "mother", "telecomadmin"})
+
+
+@dataclass
+class SourceBehavior:
+    """Everything observed about one source IP, aggregated."""
+
+    src_ip: int
+    asn: int = 0
+    ports: set = None  # type: ignore[assignment]
+    protocols: set = None  # type: ignore[assignment]
+    usernames: set = None  # type: ignore[assignment]
+    passwords: set = None  # type: ignore[assignment]
+    payload_families: set = None  # type: ignore[assignment]
+    event_count: int = 0
+    malicious: bool = False
+
+    def __post_init__(self) -> None:
+        self.ports = self.ports or set()
+        self.protocols = self.protocols or set()
+        self.usernames = self.usernames or set()
+        self.passwords = self.passwords or set()
+        self.payload_families = self.payload_families or set()
+
+
+def _collect_behaviors(dataset: AnalysisDataset) -> dict[int, SourceBehavior]:
+    behaviors: dict[int, SourceBehavior] = {}
+    for event in dataset.events:
+        behavior = behaviors.get(event.src_ip)
+        if behavior is None:
+            behavior = SourceBehavior(src_ip=event.src_ip, asn=event.src_asn)
+            behaviors[event.src_ip] = behavior
+        behavior.event_count += 1
+        behavior.ports.add(event.dst_port)
+        protocol = dataset.fingerprint_of(event)
+        if protocol is not None:
+            behavior.protocols.add(protocol)
+        for username, password in event.credentials:
+            behavior.usernames.add(username)
+            behavior.passwords.add(password)
+        if not behavior.malicious and dataset.is_malicious(event):
+            behavior.malicious = True
+        if event.payload:
+            alerts = dataset.classifier.rule_engine.alerts(event.payload, event.dst_port)
+            for alert in alerts:
+                behavior.payload_families.add(alert.classtype)
+    return behaviors
+
+
+def _is_mirai_like(behavior: SourceBehavior) -> bool:
+    return bool(behavior.passwords & _MIRAI_MARKERS)
+
+
+def _is_huawei_variant(behavior: SourceBehavior) -> bool:
+    return bool((behavior.usernames | behavior.passwords) & _HUAWEI_MARKERS)
+
+
+def _is_ssh_bruteforcer(behavior: SourceBehavior) -> bool:
+    return bool(behavior.ports & {22, 2222}) and len(behavior.passwords) >= 2
+
+
+def _is_telnet_bruteforcer(behavior: SourceBehavior) -> bool:
+    return bool(behavior.ports & {23, 2323}) and len(behavior.passwords) >= 2
+
+
+def _is_web_crawler(behavior: SourceBehavior) -> bool:
+    return "http" in behavior.protocols and not behavior.malicious
+
+
+def _is_web_exploiter(behavior: SourceBehavior) -> bool:
+    return bool(behavior.payload_families & {
+        "web-application-attack", "attempted-admin", "trojan-activity"
+    })
+
+
+def _is_unexpected_protocol_prober(behavior: SourceBehavior) -> bool:
+    http_ports = behavior.ports & {80, 8080}
+    return bool(http_ports) and bool(behavior.protocols - {"http", "unknown"})
+
+
+def _is_wide_scanner(behavior: SourceBehavior) -> bool:
+    return len(behavior.ports) >= 5
+
+
+#: Ordered (tag, predicate) rules; a source receives every matching tag.
+TAG_RULES: tuple[tuple[str, Callable[[SourceBehavior], bool]], ...] = (
+    ("mirai-like", _is_mirai_like),
+    ("huawei-apac-variant", _is_huawei_variant),
+    ("ssh-bruteforcer", _is_ssh_bruteforcer),
+    ("telnet-bruteforcer", _is_telnet_bruteforcer),
+    ("web-exploiter", _is_web_exploiter),
+    ("web-crawler", _is_web_crawler),
+    ("unexpected-protocol-prober", _is_unexpected_protocol_prober),
+    ("wide-scanner", _is_wide_scanner),
+)
+
+
+def tag_sources(dataset: AnalysisDataset) -> dict[int, frozenset[str]]:
+    """Tag every observed source IP; untaggable sources get an empty set."""
+    behaviors = _collect_behaviors(dataset)
+    return {
+        src_ip: frozenset(tag for tag, predicate in TAG_RULES if predicate(behavior))
+        for src_ip, behavior in behaviors.items()
+    }
+
+
+def tag_distribution(tags: dict[int, frozenset[str]]) -> dict[str, int]:
+    """Number of source IPs carrying each tag, sorted by prevalence."""
+    counts: dict[str, int] = defaultdict(int)
+    for tag_set in tags.values():
+        for tag in tag_set:
+            counts[tag] += 1
+    return dict(sorted(counts.items(), key=lambda item: -item[1]))

@@ -1,0 +1,177 @@
+"""Command-line entry point.
+
+Subcommands::
+
+    cloudwatching list                      # experiments available
+    cloudwatching run T8 T9 --scale 0.5     # regenerate paper tables
+    cloudwatching run all
+    cloudwatching simulate out.ndjson.gz    # write a dataset release
+    cloudwatching serve --port 8080=http --port 2323=telnet --duration 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS, ExperimentConfig, get_context
+
+#: Temporal experiments run on their own year's population.
+EXPERIMENT_YEARS: dict[str, int] = {
+    "T12": 2020, "T13": 2020, "T16": 2020,
+    "T14": 2022, "T15": 2022, "T17": 2022,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cloudwatching",
+        description="Reproduce the tables and figures of 'Cloud Watching' (IMC 2023).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    runner = subparsers.add_parser("run", help="run one or more experiments")
+    runner.add_argument("experiments", nargs="+",
+                        help="experiment ids (T1..T17, F1, M1, X1..X3) or 'all'")
+    runner.add_argument("--output", default=None, metavar="REPORT.md",
+                        help="additionally write the results as a Markdown report")
+    _add_sim_args(runner)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="simulate a week and write the NDJSON dataset release"
+    )
+    simulate.add_argument("output", help="output path (.ndjson or .ndjson.gz)")
+    simulate.add_argument("--year", type=int, default=2021, choices=(2020, 2021, 2022))
+    _add_sim_args(simulate)
+
+    serve = subparsers.add_parser(
+        "serve", help="run live honeypots on loopback and print captures"
+    )
+    serve.add_argument("--port", action="append", default=[], metavar="PORT=SERVICE",
+                       help="e.g. 8080=http, 2323=telnet, 2222=ssh, 9000=raw "
+                            "(repeatable; default: 8080=http 2323=telnet)")
+    serve.add_argument("--duration", type=float, default=30.0,
+                       help="seconds to serve before exiting (default 30)")
+    serve.add_argument("--host", default="127.0.0.1")
+    return parser
+
+
+def _add_sim_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="population scale factor (default 0.5)")
+    parser.add_argument("--telescope", type=int, default=16,
+                        help="telescope size in /24s (default 16)")
+    parser.add_argument("--seed", type=int, default=20230701)
+
+
+def _command_list() -> int:
+    for experiment_id in ALL_EXPERIMENTS:
+        print(experiment_id)
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    requested = list(ALL_EXPERIMENTS) if "all" in args.experiments else args.experiments
+    unknown = [e for e in requested if e not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    outputs = []
+    for experiment_id in requested:
+        year = EXPERIMENT_YEARS.get(experiment_id, 2021)
+        context = get_context(
+            ExperimentConfig(year=year, scale=args.scale,
+                             telescope_slash24s=args.telescope, seed=args.seed)
+        )
+        started = time.time()
+        output = ALL_EXPERIMENTS[experiment_id](context)
+        outputs.append(output)
+        print(output.render())
+        print(f"[{experiment_id} completed in {time.time() - started:.1f}s]\n")
+    if getattr(args, "output", None):
+        from repro.reporting.markdown import write_markdown_report
+
+        written = write_markdown_report(outputs, args.output)
+        print(f"markdown report written to {written}")
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    from repro.io.records import write_events
+
+    context = get_context(
+        ExperimentConfig(year=args.year, scale=args.scale,
+                         telescope_slash24s=args.telescope, seed=args.seed)
+    )
+    count = write_events(args.output, context.result.events())
+    print(f"wrote {count:,} events ({args.year} population, scale {args.scale}) "
+          f"to {args.output}")
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.honeypots.live import (
+        FirstPayloadService,
+        HttpService,
+        LiveHoneypot,
+        SshBannerService,
+        TelnetService,
+    )
+
+    factories = {
+        "http": HttpService,
+        "telnet": TelnetService,
+        "ssh": SshBannerService,
+        "raw": FirstPayloadService,
+    }
+    specs = args.port or ["8080=http", "2323=telnet"]
+    services = {}
+    for spec in specs:
+        port_text, _, kind = spec.partition("=")
+        if kind not in factories:
+            print(f"unknown service {kind!r} (choose from {sorted(factories)})",
+                  file=sys.stderr)
+            return 2
+        services[int(port_text)] = factories[kind]()
+
+    async def _serve() -> list:
+        honeypot = LiveHoneypot(host=args.host, services=services)
+        async with honeypot:
+            bound = ", ".join(
+                f"{args.host}:{actual} ({type(services[requested]).__name__})"
+                for requested, actual in honeypot.bound_ports.items()
+            )
+            print(f"listening on {bound} for {args.duration:.0f}s ...", flush=True)
+            await asyncio.sleep(args.duration)
+            await honeypot.stop()
+        return honeypot.events
+
+    events = asyncio.run(_serve())
+    print(f"captured {len(events)} sessions")
+    for event in events:
+        summary = event.payload[:60] if event.payload else b"<no payload>"
+        print(f"  port {event.dst_port} from {event.src_ip}: {summary!r} "
+              f"credentials={event.credentials}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "simulate":
+        return _command_simulate(args)
+    if args.command == "serve":
+        return _command_serve(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

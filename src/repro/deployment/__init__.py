@@ -1,0 +1,19 @@
+"""Vantage-point fleet construction (paper Table 1 geometry)."""
+
+from repro.deployment.fleet import (
+    Deployment,
+    GREYNOISE_REGIONS,
+    LeakExperiment,
+    LeakGroup,
+    build_full_deployment,
+    build_greynoise_fleet,
+    build_honeytrap_fleet,
+    build_leak_experiment,
+    build_telescope,
+)
+
+__all__ = [
+    "Deployment", "GREYNOISE_REGIONS", "LeakExperiment", "LeakGroup",
+    "build_full_deployment", "build_greynoise_fleet", "build_honeytrap_fleet",
+    "build_leak_experiment", "build_telescope",
+]

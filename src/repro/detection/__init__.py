@@ -1,0 +1,20 @@
+"""Detection stack: IDS rules, protocol fingerprinting, reputation."""
+
+from repro.detection.classify import (
+    MaliciousnessClassifier,
+    Reputation,
+    ReputationOracle,
+    VETTED_BENIGN_ASES,
+    is_malicious_event,
+)
+from repro.detection.engine import Alert, RuleEngine, load_default_rules
+from repro.detection.fingerprint import FINGERPRINT_PROTOCOLS, fingerprint
+from repro.detection.rules import ALLOWED_CLASSTYPES, Rule, RuleParseError, parse_rule, parse_rules
+
+__all__ = [
+    "MaliciousnessClassifier", "Reputation", "ReputationOracle",
+    "VETTED_BENIGN_ASES", "is_malicious_event",
+    "Alert", "RuleEngine", "load_default_rules",
+    "FINGERPRINT_PROTOCOLS", "fingerprint",
+    "ALLOWED_CLASSTYPES", "Rule", "RuleParseError", "parse_rule", "parse_rules",
+]

@@ -1,0 +1,78 @@
+"""Rule-matching engine over captured payloads.
+
+Loads the shipped vetted ruleset by default, pre-indexes content prefixes
+for cheap rejection, and memoizes verdicts per distinct payload — the
+datasets contain the same payload bytes many times (the paper's analyses
+repeatedly note *distinct* payload counts for this reason).
+"""
+
+from __future__ import annotations
+
+import importlib.resources
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.detection.rules import Rule, parse_rules
+
+__all__ = ["Alert", "RuleEngine", "load_default_rules"]
+
+
+def load_default_rules() -> list[Rule]:
+    """Parse the ruleset shipped with the package."""
+    text = (
+        importlib.resources.files("repro.detection")
+        .joinpath("data/cloudwatching.rules")
+        .read_text(encoding="utf-8")
+    )
+    return parse_rules(text)
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One rule firing on one payload."""
+
+    sid: int
+    msg: str
+    classtype: str
+
+
+class RuleEngine:
+    """Evaluate payloads against a ruleset.
+
+    >>> engine = RuleEngine()
+    >>> engine.is_malicious(b"GET / HTTP/1.1\\r\\nUser-Agent: ${jndi:ldap://x}\\r\\n\\r\\n")
+    True
+    >>> engine.is_malicious(b"GET / HTTP/1.1\\r\\n\\r\\n")
+    False
+    """
+
+    def __init__(self, rules: Optional[Iterable[Rule]] = None) -> None:
+        self._rules: list[Rule] = list(rules) if rules is not None else load_default_rules()
+        self._verdict_cache: dict[tuple[bytes, Optional[int]], tuple[Alert, ...]] = {}
+
+    @property
+    def rules(self) -> list[Rule]:
+        return list(self._rules)
+
+    def alerts(self, payload: bytes, dst_port: Optional[int] = None) -> tuple[Alert, ...]:
+        """All alerts the ruleset raises for one payload."""
+        if not payload:
+            return ()
+        key = (payload, dst_port)
+        cached = self._verdict_cache.get(key)
+        if cached is not None:
+            return cached
+        fired = tuple(
+            Alert(rule.sid, rule.msg, rule.classtype)
+            for rule in self._rules
+            if rule.matches(payload, dst_port)
+        )
+        # Bound the memo: distinct payloads are few, but be safe.
+        if len(self._verdict_cache) < 100_000:
+            self._verdict_cache[key] = fired
+        return fired
+
+    def is_malicious(self, payload: bytes, dst_port: Optional[int] = None) -> bool:
+        """Does any vetted rule classify this payload as state-altering or
+        authority-bypassing?"""
+        return bool(self.alerts(payload, dst_port))

@@ -1,0 +1,250 @@
+"""Suricata-style IDS rule DSL: parsing and matching.
+
+The paper labels non-authentication-based payloads as malicious with
+Suricata, filtered to a manually-vetted subset of rules limited to eight
+class types (Section 3.2).  This module implements the subset of the rule
+language those vetted rules need:
+
+* header: ``alert <proto> <src> <src_port> -> <dst> <dst_port>``
+* options: ``msg``, ``content`` (with ``nocase``), ``pcre``,
+  ``classtype``, ``sid``, ``rev``
+
+A rule alerts on a payload when every ``content`` string is present (in
+order-independent fashion, as we match single-packet payloads) and every
+``pcre`` matches.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Rule", "RuleParseError", "parse_rule", "parse_rules", "ALLOWED_CLASSTYPES"]
+
+#: The paper's vetted Suricata class types (Section 3.2).
+ALLOWED_CLASSTYPES: frozenset[str] = frozenset(
+    {
+        "trojan-activity",
+        "web-application-attack",
+        "protocol-command-decode",
+        "attempted-user",
+        "attempted-admin",
+        "attempted-recon",
+        "bad-unknown",
+        "misc-activity",
+    }
+)
+
+_HEADER_RE = re.compile(
+    r"^(?P<action>alert|drop|pass)\s+(?P<proto>\w+)\s+(?P<src>\S+)\s+(?P<src_port>\S+)"
+    r"\s*->\s*(?P<dst>\S+)\s+(?P<dst_port>\S+)\s*\((?P<options>.*)\)\s*$"
+)
+
+
+class RuleParseError(ValueError):
+    """Raised when a rule line cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class ContentMatch:
+    """One ``content`` option, optionally case-insensitive."""
+
+    needle: bytes
+    nocase: bool = False
+
+    def matches(self, payload: bytes) -> bool:
+        if self.nocase:
+            return self.needle.lower() in payload.lower()
+        return self.needle in payload
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One parsed rule."""
+
+    action: str
+    protocol: str
+    dst_ports: frozenset[int] | None  # None means "any"
+    msg: str
+    classtype: str
+    sid: int
+    contents: tuple[ContentMatch, ...] = ()
+    pcres: tuple[re.Pattern, ...] = ()
+    rev: int = 1
+
+    def applies_to_port(self, port: int) -> bool:
+        return self.dst_ports is None or port in self.dst_ports
+
+    def matches(self, payload: bytes, dst_port: Optional[int] = None) -> bool:
+        """Does the rule alert on this payload (optionally port-filtered)?"""
+        if not payload:
+            return False
+        if dst_port is not None and not self.applies_to_port(dst_port):
+            return False
+        if not self.contents and not self.pcres:
+            return False
+        for content in self.contents:
+            if not content.matches(payload):
+                return False
+        for pattern in self.pcres:
+            if pattern.search(payload) is None:
+                return False
+        return True
+
+
+def _decode_content(raw: str) -> bytes:
+    """Decode a Suricata content string, including ``|xx xx|`` hex runs."""
+    out = bytearray()
+    index = 0
+    while index < len(raw):
+        char = raw[index]
+        if char == "|":
+            end = raw.index("|", index + 1)
+            hex_run = raw[index + 1 : end].split()
+            out.extend(int(byte, 16) for byte in hex_run)
+            index = end + 1
+        elif char == "\\" and index + 1 < len(raw):
+            out.append(ord(raw[index + 1]))
+            index += 2
+        else:
+            out.append(ord(char))
+            index += 1
+    return bytes(out)
+
+
+def _parse_ports(spec: str) -> frozenset[int] | None:
+    if spec in ("any", "$HTTP_PORTS", "$PORTS"):
+        return None
+    spec = spec.strip("[]")
+    ports: set[int] = set()
+    for part in spec.split(","):
+        part = part.strip()
+        if ":" in part:
+            low_text, _, high_text = part.partition(":")
+            low = int(low_text) if low_text else 0
+            high = int(high_text) if high_text else 65535
+            ports.update(range(low, high + 1))
+        else:
+            ports.add(int(part))
+    return frozenset(ports)
+
+
+def _split_options(options: str) -> list[str]:
+    """Split the option body on semicolons not inside quotes."""
+    parts: list[str] = []
+    current: list[str] = []
+    in_quotes = False
+    index = 0
+    while index < len(options):
+        char = options[index]
+        if char == '"' and (index == 0 or options[index - 1] != "\\"):
+            in_quotes = not in_quotes
+        if char == ";" and not in_quotes:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+        index += 1
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return [part for part in parts if part]
+
+
+def parse_rule(line: str) -> Rule:
+    """Parse one rule line."""
+    match = _HEADER_RE.match(line.strip())
+    if match is None:
+        raise RuleParseError(f"malformed rule header: {line!r}")
+    options = _split_options(match.group("options"))
+
+    msg = ""
+    classtype = ""
+    sid = 0
+    rev = 1
+    contents: list[ContentMatch] = []
+    pcres: list[re.Pattern] = []
+    pending_content: Optional[bytes] = None
+
+    def flush_content(nocase: bool = False) -> None:
+        nonlocal pending_content
+        if pending_content is not None:
+            contents.append(ContentMatch(pending_content, nocase))
+            pending_content = None
+
+    for option in options:
+        key, _, value = option.partition(":")
+        key = key.strip()
+        value = value.strip()
+        if key == "msg":
+            flush_content()
+            msg = value.strip('"')
+        elif key == "content":
+            flush_content()
+            pending_content = _decode_content(value.strip('"'))
+        elif key == "nocase":
+            flush_content(nocase=True)
+        elif key == "pcre":
+            flush_content()
+            body = value.strip('"')
+            if not body.startswith("/"):
+                raise RuleParseError(f"malformed pcre in {line!r}")
+            closing = body.rindex("/")
+            pattern, flags_text = body[1:closing], body[closing + 1 :]
+            flags = re.IGNORECASE if "i" in flags_text else 0
+            pcres.append(re.compile(pattern.encode("utf-8"), flags))
+        elif key == "classtype":
+            flush_content()
+            classtype = value
+        elif key == "sid":
+            flush_content()
+            sid = int(value)
+        elif key == "rev":
+            flush_content()
+            rev = int(value)
+        else:
+            # Unknown options (flow, depth, metadata, ...) are tolerated,
+            # matching how our vetted subset ignores flow state.
+            flush_content()
+    flush_content()
+
+    if not msg:
+        raise RuleParseError(f"rule missing msg: {line!r}")
+    if sid == 0:
+        raise RuleParseError(f"rule missing sid: {line!r}")
+    if classtype not in ALLOWED_CLASSTYPES:
+        raise RuleParseError(
+            f"classtype {classtype!r} outside the vetted set (sid {sid})"
+        )
+
+    return Rule(
+        action=match.group("action"),
+        protocol=match.group("proto"),
+        dst_ports=_parse_ports(match.group("dst_port")),
+        msg=msg,
+        classtype=classtype,
+        sid=sid,
+        contents=tuple(contents),
+        pcres=tuple(pcres),
+        rev=rev,
+    )
+
+
+def parse_rules(text: str) -> list[Rule]:
+    """Parse a rule file body; ``#`` comments and blank lines are skipped."""
+    rules: list[Rule] = []
+    seen_sids: set[int] = set()
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            rule = parse_rule(line)
+        except RuleParseError as error:
+            raise RuleParseError(f"line {line_number}: {error}") from None
+        if rule.sid in seen_sids:
+            raise RuleParseError(f"line {line_number}: duplicate sid {rule.sid}")
+        seen_sids.add(rule.sid)
+        rules.append(rule)
+    return rules

@@ -1,0 +1,74 @@
+"""Experiment drivers: one per table/figure of the paper."""
+
+from repro.experiments import (
+    figure01_address_structure,
+    method_maliciousness,
+    table01_vantage_points,
+    table02_neighborhoods,
+    table03_search_engines,
+    table04_geo_most_different,
+    table05_geo_similarity,
+    table06_colocated,
+    table07_network_types,
+    table08_telescope_overlap,
+    table09_attacker_overlap,
+    table10_telescope_as,
+    table11_unexpected_protocols,
+)
+from repro.experiments.base import ExperimentOutput
+from repro.experiments.context import (
+    ExperimentConfig,
+    ExperimentContext,
+    clear_context_cache,
+    get_context,
+)
+
+__all__ = [
+    "ExperimentOutput", "ExperimentConfig", "ExperimentContext",
+    "clear_context_cache", "get_context",
+    "figure01_address_structure", "method_maliciousness",
+    "table01_vantage_points", "table02_neighborhoods", "table03_search_engines",
+    "table04_geo_most_different", "table05_geo_similarity", "table06_colocated",
+    "table07_network_types", "table08_telescope_overlap", "table09_attacker_overlap",
+    "table10_telescope_as", "table11_unexpected_protocols",
+    "ALL_EXPERIMENTS",
+]
+
+
+def _all_experiments():
+    from repro.experiments import (
+        ext_blocklists,
+        ext_campaigns,
+        ext_recommendations,
+        ext_temporal_stability,
+        temporal,
+    )
+
+    return {
+        "T1": table01_vantage_points.run,
+        "T2": table02_neighborhoods.run,
+        "T3": table03_search_engines.run,
+        "T4": table04_geo_most_different.run,
+        "T5": table05_geo_similarity.run,
+        "T6": table06_colocated.run,
+        "T7": table07_network_types.run,
+        "T8": table08_telescope_overlap.run,
+        "T9": table09_attacker_overlap.run,
+        "T10": table10_telescope_as.run,
+        "T11": table11_unexpected_protocols.run,
+        "F1": figure01_address_structure.run,
+        "M1": method_maliciousness.run,
+        "T12": temporal.run_table12,
+        "T13": temporal.run_table13,
+        "T14": temporal.run_table14,
+        "T15": temporal.run_table15,
+        "T16": temporal.run_table16,
+        "T17": temporal.run_table17,
+        "X1": ext_blocklists.run,
+        "X2": ext_campaigns.run,
+        "X3": ext_temporal_stability.run,
+        "X4": ext_recommendations.run,
+    }
+
+
+ALL_EXPERIMENTS = _all_experiments()

@@ -1,0 +1,78 @@
+"""Shared experiment context: one simulated dataset per configuration.
+
+Every experiment driver needs a simulated week of traffic; building one
+is the expensive step, so contexts are memoized per configuration and
+shared across drivers, tests, and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.dataset import AnalysisDataset
+from repro.deployment.fleet import Deployment, build_full_deployment
+from repro.scanners.population import PopulationConfig, build_population
+from repro.sim.clock import WEEK_2020, WEEK_2021, WEEK_2022, ObservationWindow
+from repro.sim.engine import SimulationConfig, SimulationResult, run_simulation
+from repro.sim.rng import RngHub
+
+__all__ = ["ExperimentConfig", "ExperimentContext", "get_context", "clear_context_cache"]
+
+_WINDOWS: dict[int, ObservationWindow] = {2020: WEEK_2020, 2021: WEEK_2021, 2022: WEEK_2022}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Configuration key for one simulated dataset."""
+
+    year: int = 2021
+    scale: float = 0.5
+    telescope_slash24s: int = 16
+    seed: int = 20230701
+
+    def window(self) -> ObservationWindow:
+        return _WINDOWS[self.year]
+
+
+@dataclass
+class ExperimentContext:
+    """A built simulation plus its analysis dataset."""
+
+    config: ExperimentConfig
+    deployment: Deployment
+    result: SimulationResult
+    dataset: AnalysisDataset
+
+
+_CACHE: dict[ExperimentConfig, ExperimentContext] = {}
+
+
+def get_context(config: Optional[ExperimentConfig] = None) -> ExperimentContext:
+    """Build (or fetch) the simulated dataset for a configuration."""
+    config = config or ExperimentConfig()
+    cached = _CACHE.get(config)
+    if cached is not None:
+        return cached
+
+    hub = RngHub(config.seed)
+    deployment = build_full_deployment(hub, num_telescope_slash24s=config.telescope_slash24s)
+    population = build_population(PopulationConfig(year=config.year, scale=config.scale))
+    result = run_simulation(
+        deployment,
+        population,
+        SimulationConfig(seed=config.seed, window=config.window()),
+    )
+    context = ExperimentContext(
+        config=config,
+        deployment=deployment,
+        result=result,
+        dataset=AnalysisDataset.from_simulation(result),
+    )
+    _CACHE[config] = context
+    return context
+
+
+def clear_context_cache() -> None:
+    """Drop memoized contexts (tests use this to control memory)."""
+    _CACHE.clear()

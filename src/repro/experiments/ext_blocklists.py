@@ -1,0 +1,45 @@
+"""X1: regional blocklist efficacy (the paper's Section 8 future work).
+
+Builds continent-sourced blocklists from the first half of the week and
+measures how much of each continent's second-half malicious traffic they
+would have blocked.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.blocklists import regional_blocklist_matrix
+from repro.experiments.base import ExperimentOutput, resolve_context
+from repro.experiments.context import ExperimentContext
+from repro.reporting.tables import render_table
+
+
+def run(context: Optional[ExperimentContext] = None) -> ExperimentOutput:
+    context = resolve_context(context)
+    cells = regional_blocklist_matrix(context.dataset)
+    rows = [
+        (
+            cell.source_group,
+            cell.target_group,
+            cell.coverage.blocklist_size,
+            f"{cell.coverage.ip_coverage_pct:.0f}%",
+            f"{cell.coverage.event_coverage_pct:.0f}%",
+        )
+        for cell in cells
+    ]
+    text = render_table(
+        ["Blocklist source", "Applied at", "|Blocklist|", "Attacker-IP coverage",
+         "Malicious-event coverage"],
+        rows,
+    )
+    home = {c.target_group: c.coverage.event_coverage_pct
+            for c in cells if c.source_group == c.target_group}
+    imported_ap = [c.coverage.event_coverage_pct for c in cells
+                   if c.target_group == "AP" and c.source_group != "AP"]
+    text += (
+        f"\nAP home coverage {home.get('AP', 0):.0f}% vs best imported "
+        f"{max(imported_ap, default=0):.0f}% — regional campaigns make "
+        "exported blocklists weakest in Asia Pacific."
+    )
+    return ExperimentOutput("X1", "Regional blocklist efficacy", text, cells)

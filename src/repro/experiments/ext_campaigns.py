@@ -1,0 +1,35 @@
+"""X2: scanning-campaign inference from captured traffic.
+
+Clusters source IPs into coordinated campaigns by behavioral signature
+(GreyNoise-style actor tagging) and summarizes the largest actors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.campaigns import infer_campaigns
+from repro.experiments.base import ExperimentOutput, resolve_context
+from repro.experiments.context import ExperimentContext
+from repro.reporting.tables import render_table
+
+
+def run(context: Optional[ExperimentContext] = None) -> ExperimentOutput:
+    context = resolve_context(context)
+    campaigns = infer_campaigns(context.dataset, min_size=2)
+    rows = [
+        (
+            campaign.campaign_id,
+            campaign.size,
+            ",".join(str(asn) for asn in sorted(campaign.asns)[:3]),
+            ",".join(str(port) for port in sorted(campaign.ports)[:5]),
+            "yes" if campaign.malicious else "no",
+            campaign.event_count,
+        )
+        for campaign in campaigns[:15]
+    ]
+    text = render_table(
+        ["Campaign", "#IPs", "ASNs", "Ports", "Malicious", "Events"], rows
+    )
+    text += f"\n{len(campaigns)} multi-IP campaigns inferred in total."
+    return ExperimentOutput("X2", "Inferred scanning campaigns", text, campaigns)

@@ -1,0 +1,43 @@
+"""X4: the quantified Section 8 operator report."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.commands import command_summary
+from repro.analysis.recommendations import operator_report
+from repro.analysis.tags import tag_distribution, tag_sources
+from repro.experiments.base import ExperimentOutput, resolve_context
+from repro.experiments.context import ExperimentContext
+from repro.reporting.tables import render_table
+
+
+def run(context: Optional[ExperimentContext] = None) -> ExperimentOutput:
+    context = resolve_context(context)
+    recommendations = operator_report(context.dataset)
+    rows = [
+        (rec.number, rec.title, rec.metric, f"{rec.value:.0f}{rec.unit}", rec.verdict)
+        for rec in recommendations
+    ]
+    text = render_table(["#", "Recommendation", "Evidence", "Value", "Action"], rows)
+
+    tags = tag_sources(context.dataset)
+    distribution = tag_distribution(tags)
+    text += "\n\nactor tags (GreyNoise-style, by source-IP count):\n"
+    for tag, count in distribution.items():
+        text += f"  {tag:28s} {count}\n"
+
+    shells = command_summary(context.dataset)
+    text += (
+        f"\npost-login shell sessions: {shells.sessions_logged_in} of "
+        f"{shells.sessions_with_login_attempts} login-attempting sessions "
+        f"reached a shell ({shells.login_success_rate:.0%}); "
+        f"{shells.total_commands} commands captured\n"
+    )
+    for command, count in shells.top_commands[:5]:
+        text += f"  {count:5d}x {command}\n"
+    return ExperimentOutput(
+        "X4", "Section 8 operator report",
+        text,
+        {"recommendations": recommendations, "tags": distribution, "shell": shells},
+    )

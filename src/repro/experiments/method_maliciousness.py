@@ -1,0 +1,25 @@
+"""Section 3.2 methodology numbers: how much traffic is actually malicious."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.ports import methodology_numbers
+from repro.experiments.base import ExperimentOutput, resolve_context
+from repro.experiments.context import ExperimentContext
+from repro.reporting.tables import render_table
+
+
+def run(context: Optional[ExperimentContext] = None) -> ExperimentOutput:
+    context = resolve_context(context)
+    numbers = methodology_numbers(context.dataset)
+    text = render_table(
+        ["Quantity", "Measured", "Paper"],
+        [
+            ("Telnet/23 traffic not attempting auth", f"{numbers.telnet_non_auth_pct:.0f}%", "34%"),
+            ("SSH/22 traffic not attempting auth", f"{numbers.ssh_non_auth_pct:.0f}%", "24%"),
+            ("HTTP/80 payloads without exploits", f"{numbers.http80_non_exploit_pct:.0f}%", "75%"),
+            ("Distinct HTTP payloads malicious", f"{numbers.distinct_http_payloads_malicious_pct:.0f}%", "~6%"),
+        ],
+    )
+    return ExperimentOutput("M1", "Section 3.2 maliciousness fractions", text, numbers)

@@ -1,0 +1,24 @@
+"""Table 1: vantage points and the unique scanners each network sees."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.summary import vantage_summary
+from repro.experiments.base import ExperimentOutput, resolve_context
+from repro.experiments.context import ExperimentContext
+from repro.reporting.tables import render_table
+
+
+def run(context: Optional[ExperimentContext] = None) -> ExperimentOutput:
+    context = resolve_context(context)
+    rows = vantage_summary(context.dataset)
+    text = render_table(
+        ["Network", "Collection", "#Regions", "#Vantage IPs", "#Scan IPs", "#Scan ASes"],
+        [
+            (r.network, r.collection, r.num_regions, r.num_vantage_ips,
+             r.unique_scan_ips, r.unique_scan_ases)
+            for r in rows
+        ],
+    )
+    return ExperimentOutput("T1", "Vantage points", text, rows)

@@ -1,0 +1,32 @@
+"""Table 2: attackers target neighboring services differently (2021)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.neighborhoods import neighborhood_report
+from repro.experiments.base import ExperimentOutput, resolve_context
+from repro.experiments.context import ExperimentContext
+from repro.reporting.tables import phi_cell, render_table
+from repro.stats.contingency import cramers_v_magnitude
+
+
+def run(context: Optional[ExperimentContext] = None, year: int = 2021) -> ExperimentOutput:
+    context = resolve_context(context, year=year)
+    report = neighborhood_report(context.dataset)
+    rows = []
+    for cell in report.cells:
+        rows.append(
+            (
+                cell.slice_name,
+                cell.characteristic,
+                f"{cell.percent_different:.0f}% ({cell.num_different}/{cell.num_neighborhoods})",
+                phi_cell(cell.avg_phi, cramers_v_magnitude(cell.avg_phi, 2)),
+            )
+        )
+    text = render_table(
+        ["Slice", "Characteristic", "% neighborhoods w/ dif distributions", "Avg. phi"],
+        rows,
+    )
+    experiment_id = "T2" if year == 2021 else "T12"
+    return ExperimentOutput(experiment_id, f"Neighboring-service differences ({year})", text, report)

@@ -1,0 +1,33 @@
+"""Table 4 (and Table 16 for 2020): regions with most different traffic."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.geography import most_different_regions
+from repro.experiments.base import ExperimentOutput, resolve_context
+from repro.experiments.context import ExperimentContext
+from repro.reporting.tables import phi_cell, render_table
+from repro.stats.contingency import cramers_v_magnitude
+
+
+def run(context: Optional[ExperimentContext] = None, year: int = 2021) -> ExperimentOutput:
+    context = resolve_context(context, year=year)
+    cells = most_different_regions(context.dataset)
+    rows = [
+        (
+            cell.network,
+            cell.slice_name,
+            cell.characteristic,
+            cell.region if cell.region is not None else "-",
+            phi_cell(cell.avg_phi, cramers_v_magnitude(cell.avg_phi, 1)) if cell.region else "-",
+        )
+        for cell in cells
+    ]
+    text = render_table(
+        ["Network", "Slice", "Characteristic", "Most dif. region", "Avg. phi"], rows
+    )
+    experiment_id = "T4" if year == 2021 else "T16"
+    return ExperimentOutput(
+        experiment_id, f"Most different geographic regions ({year})", text, cells
+    )

@@ -1,0 +1,29 @@
+"""Table 5 (and Table 13 for 2020): traffic similarity within/between
+geo-locations."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.geography import geo_similarity
+from repro.experiments.base import ExperimentOutput, resolve_context
+from repro.experiments.context import ExperimentContext
+from repro.reporting.tables import render_table
+
+
+def run(context: Optional[ExperimentContext] = None, year: int = 2021) -> ExperimentOutput:
+    context = resolve_context(context, year=year)
+    summaries = geo_similarity(context.dataset)
+    rows = [
+        (
+            s.slice_name,
+            s.characteristic,
+            s.grouping,
+            f"{s.percent_similar:.0f}% ({s.num_similar}/{s.num_pairs})",
+        )
+        for s in summaries
+        if s.num_pairs > 0
+    ]
+    text = render_table(["Slice", "Characteristic", "Grouping", "% similar pairs"], rows)
+    experiment_id = "T5" if year == 2021 else "T13"
+    return ExperimentOutput(experiment_id, f"Geographic similarity ({year})", text, summaries)

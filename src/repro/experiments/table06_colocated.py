@@ -1,0 +1,26 @@
+"""Table 6: clouds with honeypots in the same city/state."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.networks import colocated_cloud_pairs
+from repro.experiments.base import ExperimentOutput, resolve_context
+from repro.experiments.context import ExperimentContext
+from repro.reporting.tables import render_table
+
+
+def run(context: Optional[ExperimentContext] = None) -> ExperimentOutput:
+    context = resolve_context(context)
+    pairs = colocated_cloud_pairs(context.dataset)
+    regions = sorted({region for _a, _b, region in pairs})
+    networks = sorted({n for a, b, _r in pairs for n in (a, b)})
+    matrix = {region: set() for region in regions}
+    for a, b, region in pairs:
+        matrix[region].update((a, b))
+    rows = [
+        tuple([region] + ["+" if network in matrix[region] else "" for network in networks])
+        for region in regions
+    ]
+    text = render_table(["Region"] + networks, rows)
+    return ExperimentOutput("T6", "Co-located cloud honeypots", text, pairs)

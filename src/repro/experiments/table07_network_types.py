@@ -1,0 +1,36 @@
+"""Table 7 (and Table 14's temporal repeat): differences across network
+types (cloud-cloud, cloud-EDU, EDU-EDU)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.networks import network_type_report
+from repro.experiments.base import ExperimentOutput, resolve_context
+from repro.experiments.context import ExperimentContext
+from repro.reporting.tables import phi_cell, render_table
+from repro.stats.contingency import cramers_v_magnitude
+
+
+def run(context: Optional[ExperimentContext] = None, year: int = 2021) -> ExperimentOutput:
+    context = resolve_context(context, year=year)
+    cells = network_type_report(context.dataset)
+    rows = []
+    for cell in cells:
+        if not cell.measurable:
+            rows.append((cell.comparison, cell.slice_name, cell.characteristic, "x", "x"))
+            continue
+        rows.append(
+            (
+                cell.comparison,
+                cell.slice_name,
+                cell.characteristic,
+                f"{cell.num_different}/{cell.num_pairs}",
+                phi_cell(cell.avg_phi, cramers_v_magnitude(cell.avg_phi, 2)),
+            )
+        )
+    text = render_table(
+        ["Comparison", "Slice", "Characteristic", "# dif. pairs", "Avg. phi"], rows
+    )
+    return ExperimentOutput("T7" if year == 2021 else "T14",
+                            f"Network-type differences ({year})", text, cells)

@@ -1,0 +1,25 @@
+"""Table 8: scanners that target clouds/EDUs avoid the telescope."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.overlap import scanner_overlap
+from repro.experiments.base import ExperimentOutput, resolve_context
+from repro.experiments.context import ExperimentContext
+from repro.reporting.tables import pct_cell, render_table
+
+
+def run(context: Optional[ExperimentContext] = None) -> ExperimentOutput:
+    context = resolve_context(context)
+    rows = scanner_overlap(context.dataset)
+    text = render_table(
+        ["Port", "|Tel∩Cloud|/|Cloud|", "|Tel∩EDU|/|EDU|", "|Cloud∩EDU|/|Cloud|",
+         "|Cloud|", "|EDU|"],
+        [
+            (r.port, pct_cell(r.telescope_cloud_pct), pct_cell(r.telescope_edu_pct),
+             pct_cell(r.cloud_edu_pct), r.cloud_size, r.edu_size)
+            for r in rows
+        ],
+    )
+    return ExperimentOutput("T8", "Scanner overlap with the telescope", text, rows)

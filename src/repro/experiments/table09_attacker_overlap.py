@@ -1,0 +1,24 @@
+"""Table 9: attackers on SSH-assigned ports avoid telescopes."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.overlap import attacker_overlap
+from repro.experiments.base import ExperimentOutput, resolve_context
+from repro.experiments.context import ExperimentContext
+from repro.reporting.tables import pct_cell, render_table
+
+
+def run(context: Optional[ExperimentContext] = None) -> ExperimentOutput:
+    context = resolve_context(context)
+    rows = attacker_overlap(context.dataset)
+    text = render_table(
+        ["Port", "|Tel∩Mal.Cloud|/|Mal.Cloud|", "|Tel∩Mal.EDU|/|Mal.EDU|", "|Mal.Cloud|"],
+        [
+            (r.port, pct_cell(r.telescope_cloud_pct, 1), pct_cell(r.telescope_edu_pct, 1),
+             r.malicious_cloud_size)
+            for r in rows
+        ],
+    )
+    return ExperimentOutput("T9", "Attacker overlap with the telescope", text, rows)

@@ -1,0 +1,28 @@
+"""Table 10 (and Table 15 for 2022): different scanners target telescopes."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.networks import telescope_as_report
+from repro.experiments.base import ExperimentOutput, resolve_context
+from repro.experiments.context import ExperimentContext
+from repro.reporting.tables import phi_cell, render_table
+from repro.stats.contingency import cramers_v_magnitude
+
+
+def run(context: Optional[ExperimentContext] = None, year: int = 2021) -> ExperimentOutput:
+    context = resolve_context(context, year=year)
+    cells = telescope_as_report(context.dataset)
+    rows = [
+        (
+            cell.comparison,
+            cell.slice_name,
+            f"{cell.num_different}/{cell.num_sites}",
+            phi_cell(cell.avg_phi, cramers_v_magnitude(cell.avg_phi, 2)),
+        )
+        for cell in cells
+    ]
+    text = render_table(["Comparison", "Slice", "# dif. sites", "Avg. phi"], rows)
+    return ExperimentOutput("T10" if year == 2021 else "T15",
+                            f"Telescope AS differences ({year})", text, cells)

@@ -1,0 +1,28 @@
+"""Table 11 (and Table 17 for 2022): scanner-targeted protocols on
+HTTP-assigned ports."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.ports import protocol_breakdown
+from repro.experiments.base import ExperimentOutput, resolve_context
+from repro.experiments.context import ExperimentContext
+from repro.reporting.tables import render_table
+
+
+def run(context: Optional[ExperimentContext] = None, year: int = 2021) -> ExperimentOutput:
+    context = resolve_context(context, year=year)
+    rows = protocol_breakdown(context.dataset)
+    rendered = []
+    for row in rows:
+        rendered.append((f"HTTP/{row.port}", f"{row.matching_pct:.0f}%",
+                         f"{row.matching_benign_pct:.0f}%", f"{row.matching_malicious_pct:.0f}%"))
+        rendered.append((f"~HTTP/{row.port}", f"{row.unexpected_pct:.0f}%",
+                         f"{row.unexpected_benign_pct:.0f}%", f"{row.unexpected_malicious_pct:.0f}%"))
+    text = render_table(["Protocol/Port", "Breakdown", "% Benign", "% Malicious"], rendered)
+    for row in rows:
+        mix = ", ".join(f"{proto}={pct:.1f}%" for proto, pct in row.unexpected_protocols.items())
+        text += f"\nport {row.port} unexpected mix: {mix}"
+    return ExperimentOutput("T11" if year == 2021 else "T17",
+                            f"Scanner-targeted protocols ({year})", text, rows)

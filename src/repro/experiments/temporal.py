@@ -1,0 +1,53 @@
+"""Appendix C temporal repeats: Tables 12-17 reuse the 2021 drivers on the
+2020/2022 populations."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments import (
+    table02_neighborhoods,
+    table04_geo_most_different,
+    table05_geo_similarity,
+    table07_network_types,
+    table10_telescope_as,
+    table11_unexpected_protocols,
+)
+from repro.experiments.base import ExperimentOutput
+from repro.experiments.context import ExperimentConfig, ExperimentContext, get_context
+
+
+def _year_context(year: int, context: Optional[ExperimentContext]) -> ExperimentContext:
+    if context is not None:
+        return context
+    return get_context(ExperimentConfig(year=year))
+
+
+def run_table12(context: Optional[ExperimentContext] = None) -> ExperimentOutput:
+    """Table 12: neighboring-service differences on the 2020 population."""
+    return table02_neighborhoods.run(_year_context(2020, context), year=2020)
+
+
+def run_table13(context: Optional[ExperimentContext] = None) -> ExperimentOutput:
+    """Table 13: geographic similarity on the 2020 population."""
+    return table05_geo_similarity.run(_year_context(2020, context), year=2020)
+
+
+def run_table14(context: Optional[ExperimentContext] = None) -> ExperimentOutput:
+    """Table 14: network-type differences on the 2022 population."""
+    return table07_network_types.run(_year_context(2022, context), year=2022)
+
+
+def run_table15(context: Optional[ExperimentContext] = None) -> ExperimentOutput:
+    """Table 15: telescope AS differences on the 2022 population."""
+    return table10_telescope_as.run(_year_context(2022, context), year=2022)
+
+
+def run_table16(context: Optional[ExperimentContext] = None) -> ExperimentOutput:
+    """Table 16: most-different regions on the 2020 population."""
+    return table04_geo_most_different.run(_year_context(2020, context), year=2020)
+
+
+def run_table17(context: Optional[ExperimentContext] = None) -> ExperimentOutput:
+    """Table 17: unexpected protocols on the 2022 population."""
+    return table11_unexpected_protocols.run(_year_context(2022, context), year=2022)

@@ -1,0 +1,17 @@
+"""Honeypot frameworks and the network telescope."""
+
+from repro.honeypots.base import CaptureStack, VantageCapture, VantagePoint
+from repro.honeypots.cowrie import COWRIE_PORTS, CowrieStack
+from repro.honeypots.firewall import FirewalledStack
+from repro.honeypots.greynoise import GREYNOISE_DEFAULT_PORTS, GreyNoiseStack
+from repro.honeypots.honeytrap import HoneytrapStack
+from repro.honeypots.telescope import TelescopeCapture, TelescopeStack
+
+__all__ = [
+    "CaptureStack", "VantageCapture", "VantagePoint",
+    "COWRIE_PORTS", "CowrieStack",
+    "FirewalledStack",
+    "GREYNOISE_DEFAULT_PORTS", "GreyNoiseStack",
+    "HoneytrapStack",
+    "TelescopeCapture", "TelescopeStack",
+]

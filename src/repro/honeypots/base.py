@@ -1,0 +1,129 @@
+"""Vantage points and the capture-stack interface.
+
+A *vantage point* is a set of IP addresses in one network+region observed
+through one capture framework.  The framework defines what the paper calls
+the "collection method" (Table 1): which ports are observed, whether the
+L4 handshake completes, whether payloads are recorded, and whether
+interactive logins are emulated.
+
+The analysis pipeline only ever sees the :class:`CapturedEvent` records a
+stack chooses to emit — the stack is the epistemic boundary between what
+attackers *did* and what researchers *know*.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.net.packets import Transport
+from repro.sim.events import CapturedEvent, NetworkKind, ScanIntent
+
+__all__ = ["CaptureStack", "VantagePoint", "VantageCapture"]
+
+
+class CaptureStack(abc.ABC):
+    """Abstract capture framework.
+
+    Subclasses set :attr:`completes_handshake` and implement
+    :meth:`observes` (port filtering) and :meth:`capture` (what survives
+    into the dataset).
+    """
+
+    #: Human-readable framework name as it appears in Table 1.
+    name: str = "abstract"
+    #: Whether the stack completes TCP handshakes (telescopes do not).
+    completes_handshake: bool = True
+
+    @abc.abstractmethod
+    def observes(self, port: int) -> bool:
+        """Whether traffic to ``port`` is recorded at all."""
+
+    @abc.abstractmethod
+    def capture(
+        self, intent: ScanIntent, vantage: "VantagePoint", src_asn: int
+    ) -> Optional[CapturedEvent]:
+        """Turn a connection attempt into a dataset record (or drop it)."""
+
+    def _base_event(
+        self,
+        intent: ScanIntent,
+        vantage: "VantagePoint",
+        src_asn: int,
+        handshake: bool,
+        payload: bytes,
+        credentials: tuple[tuple[str, str], ...] = (),
+    ) -> CapturedEvent:
+        # UDP has no handshake, and per the paper's ethics posture the
+        # honeypots never *respond* to UDP — but the first datagram's
+        # payload still arrives and is recorded (Honeytrap semantics).
+        if intent.transport is Transport.UDP:
+            handshake = False
+        return CapturedEvent(
+            vantage_id=vantage.vantage_id,
+            network=vantage.network,
+            network_kind=vantage.kind,
+            region=vantage.region_code,
+            timestamp=intent.timestamp,
+            src_ip=intent.src_ip,
+            src_asn=src_asn,
+            dst_ip=intent.dst_ip,
+            dst_port=intent.dst_port,
+            transport=intent.transport,
+            handshake=handshake,
+            payload=payload,
+            credentials=credentials,
+        )
+
+
+@dataclass(frozen=True)
+class VantagePoint:
+    """A deployed observation point: IPs + framework + location."""
+
+    vantage_id: str
+    network: str
+    kind: NetworkKind
+    region_code: str
+    continent: str
+    ips: np.ndarray
+    stack: CaptureStack
+
+    def __post_init__(self) -> None:
+        if len(self.ips) == 0:
+            raise ValueError("a vantage point needs at least one IP")
+
+    @property
+    def num_ips(self) -> int:
+        return len(self.ips)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.vantage_id} [{self.network}/{self.region_code}, "
+            f"{self.num_ips} IPs, {self.stack.name}]"
+        )
+
+
+@dataclass
+class VantageCapture:
+    """The event dataset recorded at one vantage point."""
+
+    vantage: VantagePoint
+    events: list[CapturedEvent] = field(default_factory=list)
+
+    def record(self, intent: ScanIntent, src_asn: int) -> Optional[CapturedEvent]:
+        """Run one intent through the vantage's stack; keep what survives."""
+        if not self.vantage.stack.observes(intent.dst_port):
+            return None
+        event = self.vantage.stack.capture(intent, self.vantage, src_asn)
+        if event is not None:
+            self.events.append(event)
+        return event
+
+    def extend(self, events: Iterable[CapturedEvent]) -> None:
+        self.events.extend(events)
+
+    def __len__(self) -> int:
+        return len(self.events)

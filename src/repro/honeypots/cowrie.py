@@ -1,0 +1,87 @@
+"""Cowrie-style interactive SSH/Telnet capture.
+
+GreyNoise "uses Cowrie, an interactive honeypot, to collect SSH (ports
+22, 2222) and Telnet (23, 2323) attempted login credentials" (Section
+3.1).  The essential capture semantics: the handshake and protocol banner
+exchange complete, and every username/password attempt in the session is
+recorded alongside the client's first protocol message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.honeypots.base import CaptureStack, VantagePoint
+from repro.sim.events import CapturedEvent, ScanIntent
+from repro.sim.rng import stable_hash64
+
+__all__ = ["CowrieStack", "COWRIE_PORTS"]
+
+#: Ports on which GreyNoise runs Cowrie.
+COWRIE_PORTS: frozenset[int] = frozenset({22, 2222, 23, 2323})
+
+
+class CowrieStack(CaptureStack):
+    """Interactive credential-capturing stack for SSH/Telnet ports.
+
+    ``ports`` restricts which ports the instance listens on (defaults to
+    the four Cowrie ports).  Credentials are recorded verbatim; sessions
+    that never attempt a login still yield an event with the client's
+    banner/negotiation payload — that distinction is what lets the
+    analysis measure the fraction of non-authentication traffic
+    (Section 3.2).
+
+    Like real Cowrie, the honeypot *accepts* a fraction of login attempts
+    (``accept_login_probability``, deterministic per session) and then
+    records the fake-shell commands the actor runs — the post-compromise
+    behavior Cowrie exists to collect.
+    """
+
+    name = "Cowrie"
+    completes_handshake = True
+
+    def __init__(
+        self,
+        ports: frozenset[int] = COWRIE_PORTS,
+        accept_login_probability: float = 0.35,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= accept_login_probability <= 1.0:
+            raise ValueError("accept_login_probability must be in [0, 1]")
+        self._ports = frozenset(ports)
+        self._accept_probability = accept_login_probability
+        self._seed = seed
+
+    def observes(self, port: int) -> bool:
+        return port in self._ports
+
+    def _accepts_login(self, intent: ScanIntent) -> bool:
+        if self._accept_probability >= 1.0:
+            return True
+        if self._accept_probability <= 0.0:
+            return False
+        draw = stable_hash64(
+            self._seed, "cowrie-login", intent.src_ip, intent.dst_ip,
+            round(intent.timestamp, 6),
+        ) / float(1 << 64)
+        return draw < self._accept_probability
+
+    def capture(
+        self, intent: ScanIntent, vantage: VantagePoint, src_asn: int
+    ) -> Optional[CapturedEvent]:
+        credentials = tuple(credential.as_tuple() for credential in intent.credentials)
+        commands: tuple[str, ...] = ()
+        if credentials and intent.commands and self._accepts_login(intent):
+            commands = intent.commands
+        event = self._base_event(
+            intent,
+            vantage,
+            src_asn,
+            handshake=True,
+            payload=intent.payload,
+            credentials=credentials,
+        )
+        if commands:
+            event = replace(event, commands=commands)
+        return event

@@ -1,0 +1,89 @@
+"""Transparent upstream firewalls (paper Section 7, "Firewalls").
+
+The paper notes that "it is possible that a network could transparently
+drop malicious traffic before [it] reach[es] our honeypots" and leaves
+measuring that effect to future work.  :class:`FirewalledStack` models
+exactly that confound: a network-edge middlebox that silently drops a
+fraction of recognizably-malicious sessions *before* the capture stack
+sees them.
+
+Because the firewall sits upstream of the epistemic boundary, analyses on
+a firewalled vantage underestimate malicious traffic — the ablation
+benchmark (``benchmarks/test_bench_ablations.py``) quantifies by how
+much, which is the measurement the paper calls for.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.detection.engine import RuleEngine
+from repro.honeypots.base import CaptureStack, VantagePoint
+from repro.sim.events import CapturedEvent, ScanIntent
+from repro.sim.rng import stable_hash64
+
+__all__ = ["FirewalledStack"]
+
+
+class FirewalledStack(CaptureStack):
+    """Wrap a capture stack behind a transparent malicious-traffic filter.
+
+    ``drop_probability`` is the chance the middlebox recognizes and drops
+    one malicious session (login attempts and rule-matching payloads).
+    Drops are deterministic per (src, dst, timestamp) so simulations stay
+    reproducible.  Benign traffic always passes — real transparent
+    filters are tuned for low false positives.
+    """
+
+    name = "Firewalled"
+
+    def __init__(
+        self,
+        inner: CaptureStack,
+        drop_probability: float,
+        rule_engine: Optional[RuleEngine] = None,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        self._inner = inner
+        self._drop_probability = drop_probability
+        self._rules = rule_engine or RuleEngine()
+        self._seed = seed
+        self.name = f"Firewalled({inner.name})"
+        self.completes_handshake = inner.completes_handshake
+        self.dropped = 0
+
+    @property
+    def inner(self) -> CaptureStack:
+        return self._inner
+
+    def observes(self, port: int) -> bool:
+        return self._inner.observes(port)
+
+    def _looks_malicious(self, intent: ScanIntent) -> bool:
+        if intent.credentials:
+            return True
+        if intent.payload and self._rules.is_malicious(intent.payload, intent.dst_port):
+            return True
+        return False
+
+    def _drops(self, intent: ScanIntent) -> bool:
+        if self._drop_probability == 0.0:
+            return False
+        if not self._looks_malicious(intent):
+            return False
+        if self._drop_probability >= 1.0:
+            return True
+        draw = stable_hash64(
+            self._seed, intent.src_ip, intent.dst_ip, round(intent.timestamp, 6)
+        ) / float(1 << 64)
+        return draw < self._drop_probability
+
+    def capture(
+        self, intent: ScanIntent, vantage: VantagePoint, src_asn: int
+    ) -> Optional[CapturedEvent]:
+        if self._drops(intent):
+            self.dropped += 1
+            return None
+        return self._inner.capture(intent, vantage, src_asn)

@@ -1,0 +1,49 @@
+"""Honeytrap-style first-payload capture.
+
+The education-network and author-deployed cloud honeypots "use the
+Honeytrap framework ... configure[d] to collect the first UDP payload or
+the first TCP payload after completing a TCP handshake" (Section 3.1).
+Honeytrap observes *all* ports, which is what enables the Section 6
+unexpected-protocol analysis.
+
+For the search-engine leak experiment the authors additionally emulate
+SSH/22, Telnet/23, and HTTP/80 services; ``interactive_ports`` enables
+Cowrie-like credential capture on those ports for that deployment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.honeypots.base import CaptureStack, VantagePoint
+from repro.sim.events import CapturedEvent, ScanIntent
+
+__all__ = ["HoneytrapStack"]
+
+
+class HoneytrapStack(CaptureStack):
+    """All-port, first-payload capture with optional interactive ports."""
+
+    name = "Honeytrap"
+    completes_handshake = True
+
+    def __init__(self, interactive_ports: frozenset[int] = frozenset()) -> None:
+        self._interactive_ports = frozenset(interactive_ports)
+
+    def observes(self, port: int) -> bool:
+        return True
+
+    def capture(
+        self, intent: ScanIntent, vantage: VantagePoint, src_asn: int
+    ) -> Optional[CapturedEvent]:
+        credentials: tuple[tuple[str, str], ...] = ()
+        if intent.dst_port in self._interactive_ports:
+            credentials = tuple(credential.as_tuple() for credential in intent.credentials)
+        return self._base_event(
+            intent,
+            vantage,
+            src_asn,
+            handshake=True,
+            payload=intent.payload,
+            credentials=credentials,
+        )

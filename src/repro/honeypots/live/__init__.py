@@ -1,0 +1,18 @@
+"""Live asyncio honeypots and the loopback traffic replayer."""
+
+from repro.honeypots.live.replay import ReplayClient, replay_intents
+from repro.honeypots.live.server import (
+    FirstPayloadService,
+    HttpService,
+    LiveHoneypot,
+    ServiceEmulator,
+    SshBannerService,
+    TelnetService,
+    live_vantage,
+)
+
+__all__ = [
+    "ReplayClient", "replay_intents",
+    "FirstPayloadService", "HttpService", "LiveHoneypot",
+    "ServiceEmulator", "SshBannerService", "TelnetService", "live_vantage",
+]

@@ -1,0 +1,135 @@
+"""pcap-lite: a compact binary packet-capture format.
+
+Telescopes and packet-level tooling exchange raw header streams rather
+than event records; this module defines a minimal, self-describing binary
+format for :class:`~repro.net.packets.Packet` streams:
+
+* 8-byte magic ``CWPCAP01``;
+* per packet: a fixed 27-byte header
+  (``<d I I H H B B I`` = timestamp, src_ip, dst_ip, src_port, dst_port,
+  transport, flags, payload_length) followed by the payload bytes.
+
+The format round-trips exactly and is endianness-pinned (little-endian),
+so captures written on one machine read identically on another.  Helpers
+convert scan intents to wire packets and back through the flow
+assembler, closing the loop packets → flows → first payloads.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Union
+
+from repro.net.flows import Flow, assemble_flows
+from repro.net.packets import Packet, TcpFlags, Transport, client_handshake_packets
+from repro.sim.events import ScanIntent
+
+__all__ = [
+    "MAGIC",
+    "write_packets",
+    "read_packets",
+    "intents_to_packets",
+    "packets_to_flows",
+]
+
+MAGIC = b"CWPCAP01"
+_HEADER = struct.Struct("<dIIHHBBI")
+
+_TRANSPORT_CODE = {Transport.TCP: 0, Transport.UDP: 1}
+_CODE_TRANSPORT = {code: transport for transport, code in _TRANSPORT_CODE.items()}
+
+
+def _open(path: Union[str, Path], mode: str) -> IO[bytes]:
+    return open(path, mode)
+
+
+def write_packets(path: Union[str, Path], packets: Iterable[Packet]) -> int:
+    """Write a packet stream; returns the number of packets written."""
+    count = 0
+    with _open(path, "wb") as handle:
+        handle.write(MAGIC)
+        for packet in packets:
+            handle.write(
+                _HEADER.pack(
+                    packet.timestamp,
+                    packet.src_ip,
+                    packet.dst_ip,
+                    packet.src_port,
+                    packet.dst_port,
+                    _TRANSPORT_CODE[packet.transport],
+                    int(packet.flags),
+                    len(packet.payload),
+                )
+            )
+            handle.write(packet.payload)
+            count += 1
+    return count
+
+
+def read_packets(path: Union[str, Path]) -> Iterator[Packet]:
+    """Stream packets back from a pcap-lite file."""
+    with _open(path, "rb") as handle:
+        magic = handle.read(len(MAGIC))
+        if magic != MAGIC:
+            raise ValueError(f"not a pcap-lite file (magic {magic!r})")
+        while True:
+            header = handle.read(_HEADER.size)
+            if not header:
+                return
+            if len(header) != _HEADER.size:
+                raise ValueError("truncated packet header")
+            (timestamp, src_ip, dst_ip, src_port, dst_port,
+             transport_code, flags, payload_length) = _HEADER.unpack(header)
+            payload = handle.read(payload_length)
+            if len(payload) != payload_length:
+                raise ValueError("truncated packet payload")
+            yield Packet(
+                timestamp=timestamp,
+                src_ip=src_ip,
+                dst_ip=dst_ip,
+                src_port=src_port,
+                dst_port=dst_port,
+                transport=_CODE_TRANSPORT[transport_code],
+                flags=TcpFlags(flags),
+                payload=payload,
+            )
+
+
+def intents_to_packets(intents: Iterable[ScanIntent], src_port: int = 40000) -> Iterator[Packet]:
+    """Expand scan intents into the wire packets a capture point would see.
+
+    TCP intents become SYN/ACK/data sequences; UDP intents are single
+    datagrams.  Credential exchanges are interactive (not single-payload)
+    and are represented by the session's first protocol message only —
+    matching what a passive packet capture of an encrypted or prompted
+    session retains.
+    """
+    for index, intent in enumerate(intents):
+        port = src_port + (index % 20000)
+        if intent.transport is Transport.UDP:
+            yield Packet(
+                timestamp=intent.timestamp,
+                src_ip=intent.src_ip,
+                dst_ip=intent.dst_ip,
+                src_port=port,
+                dst_port=intent.dst_port,
+                transport=Transport.UDP,
+                payload=intent.payload,
+            )
+            continue
+        yield from client_handshake_packets(
+            intent.timestamp,
+            intent.src_ip,
+            intent.dst_ip,
+            intent.dst_port,
+            payload=intent.payload,
+            src_port=port,
+        )
+
+
+def packets_to_flows(
+    packets: Iterable[Packet], server_responds: bool = True
+) -> list[Flow]:
+    """Assemble a packet stream into flows (thin alias over the assembler)."""
+    return assemble_flows(packets, server_responds=server_responds)

@@ -1,0 +1,45 @@
+"""Network primitives: IPv4 addressing, AS registry, geography, packets, flows."""
+
+from repro.net.addresses import (
+    IPv4Address,
+    Prefix,
+    ends_in_255,
+    has_255_octet,
+    int_to_ip,
+    ip_to_int,
+    is_first_of_slash16,
+    octets_of,
+    rolling_average,
+)
+from repro.net.asn import ASRegistry, AutonomousSystem, default_registry
+from repro.net.flows import Flow, FlowAssembler, assemble_flows
+from repro.net.geo import Continent, GeoRegion, REGIONS, region, region_pairs, regions_in
+from repro.net.packets import Packet, TcpConnection, TcpFlags, Transport
+
+__all__ = [
+    "IPv4Address",
+    "Prefix",
+    "ip_to_int",
+    "int_to_ip",
+    "octets_of",
+    "has_255_octet",
+    "ends_in_255",
+    "is_first_of_slash16",
+    "rolling_average",
+    "ASRegistry",
+    "AutonomousSystem",
+    "default_registry",
+    "Continent",
+    "GeoRegion",
+    "REGIONS",
+    "region",
+    "regions_in",
+    "region_pairs",
+    "Packet",
+    "TcpFlags",
+    "Transport",
+    "TcpConnection",
+    "Flow",
+    "FlowAssembler",
+    "assemble_flows",
+]

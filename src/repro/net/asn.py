@@ -1,0 +1,205 @@
+"""Autonomous-system model and registry.
+
+The paper identifies scanning actors by autonomous system rather than IP
+address "to account for scanning campaigns that rely on multiple source IP
+addresses" (Section 3.3).  This module provides:
+
+* :class:`AutonomousSystem` — an AS with its prefixes, name, and country.
+* :class:`ASRegistry` — longest-prefix-match IP→AS lookup plus allocation
+  of fresh source addresses inside an AS (used by the traffic simulator).
+
+The default registry (:func:`default_registry`) is seeded with every AS the
+paper names, at real ASNs, plus synthetic "background" ASes that fill out
+the long tail of scanning origins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.net.addresses import Prefix, int_to_ip
+
+__all__ = ["AutonomousSystem", "ASRegistry", "default_registry", "PAPER_ASES"]
+
+
+@dataclass(frozen=True)
+class AutonomousSystem:
+    """An autonomous system: number, name, country, and announced prefixes."""
+
+    asn: int
+    name: str
+    country: str
+    prefixes: tuple[Prefix, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ValueError(f"ASN must be positive: {self.asn}")
+
+    def __contains__(self, address: int) -> bool:
+        return any(address in prefix for prefix in self.prefixes)
+
+    def __str__(self) -> str:
+        return f"AS{self.asn} ({self.name}, {self.country})"
+
+
+class ASRegistry:
+    """IP→AS mapping with address allocation for traffic synthesis.
+
+    Lookup is exact longest-prefix match over the registered prefixes.
+    Allocation hands out successive host addresses from an AS's first
+    prefix, so that simulated scanner IPs are stable and collision-free.
+    """
+
+    def __init__(self, systems: Iterable[AutonomousSystem] = ()) -> None:
+        self._by_asn: dict[int, AutonomousSystem] = {}
+        # prefix-length -> {network -> asn}; supports longest-prefix match.
+        self._tables: dict[int, dict[int, int]] = {}
+        self._alloc_cursor: dict[int, int] = {}
+        for system in systems:
+            self.add(system)
+
+    def add(self, system: AutonomousSystem) -> None:
+        if system.asn in self._by_asn:
+            raise ValueError(f"duplicate ASN {system.asn}")
+        for prefix in system.prefixes:
+            table = self._tables.setdefault(prefix.length, {})
+            if prefix.network in table:
+                raise ValueError(f"prefix {prefix} already registered")
+            table[prefix.network] = system.asn
+        self._by_asn[system.asn] = system
+
+    def __len__(self) -> int:
+        return len(self._by_asn)
+
+    def __iter__(self) -> Iterator[AutonomousSystem]:
+        return iter(self._by_asn.values())
+
+    def get(self, asn: int) -> AutonomousSystem:
+        try:
+            return self._by_asn[asn]
+        except KeyError:
+            raise KeyError(f"unknown ASN {asn}") from None
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._by_asn
+
+    def lookup(self, address: int) -> Optional[AutonomousSystem]:
+        """Longest-prefix-match an address to its origin AS, or ``None``."""
+        for length in sorted(self._tables, reverse=True):
+            mask = 0 if length == 0 else (((1 << 32) - 1) << (32 - length)) & ((1 << 32) - 1)
+            asn = self._tables[length].get(address & mask)
+            if asn is not None:
+                return self._by_asn[asn]
+        return None
+
+    def asn_of(self, address: int) -> int:
+        """Return the origin ASN for an address, raising if unrouted."""
+        system = self.lookup(address)
+        if system is None:
+            raise KeyError(f"address {int_to_ip(address)} is not announced by any AS")
+        return system.asn
+
+    def allocate_source(self, asn: int) -> int:
+        """Allocate the next unused host address inside an AS.
+
+        The simulator calls this to mint stable per-scanner source IPs.
+        Raises ``RuntimeError`` once an AS's first prefix is exhausted.
+        """
+        system = self.get(asn)
+        if not system.prefixes:
+            raise RuntimeError(f"AS{asn} has no prefixes to allocate from")
+        prefix = system.prefixes[0]
+        cursor = self._alloc_cursor.get(asn, 1)  # skip the network address
+        if prefix.first + cursor > prefix.last:
+            raise RuntimeError(f"AS{asn} prefix {prefix} exhausted")
+        self._alloc_cursor[asn] = cursor + 1
+        return prefix.first + cursor
+
+
+def _prefix(cidr: str) -> tuple[Prefix, ...]:
+    return (Prefix.parse(cidr),)
+
+
+#: Every autonomous system the paper names, with its real ASN.  Prefixes are
+#: synthetic (documentation/benchmark ranges carved from distinct /8s) since
+#: only the ASN↔name↔country mapping matters to the analyses.
+PAPER_ASES: tuple[AutonomousSystem, ...] = (
+    AutonomousSystem(398324, "Censys", "US", _prefix("13.0.0.0/16")),
+    AutonomousSystem(10439, "Shodan (CariNet)", "US", _prefix("14.0.0.0/16")),
+    AutonomousSystem(4134, "Chinanet", "CN", _prefix("61.128.0.0/12")),
+    AutonomousSystem(56046, "China Mobile", "CN", _prefix("112.0.0.0/13")),
+    AutonomousSystem(9808, "China Mobile GD", "CN", _prefix("120.192.0.0/12")),
+    AutonomousSystem(53667, "PonyNet (FranTech)", "US", _prefix("104.244.72.0/21")),
+    AutonomousSystem(174, "Cogent", "US", _prefix("38.0.0.0/12")),
+    AutonomousSystem(5384, "Emirates Internet", "AE", _prefix("94.200.0.0/14")),
+    AutonomousSystem(14522, "SATNET", "EC", _prefix("186.4.0.0/15")),
+    AutonomousSystem(6503, "Axtel", "MX", _prefix("187.160.0.0/13")),
+    AutonomousSystem(198605, "Avast (AVAST Software)", "CZ", _prefix("77.234.40.0/21")),
+    AutonomousSystem(9009, "M247", "RO", _prefix("146.70.0.0/16")),
+    AutonomousSystem(60068, "CDN77", "GB", _prefix("89.187.160.0/20")),
+    AutonomousSystem(16509, "Amazon AWS", "US", _prefix("52.0.0.0/11")),
+    AutonomousSystem(15169, "Google", "US", _prefix("34.64.0.0/11")),
+    AutonomousSystem(8075, "Microsoft Azure", "US", _prefix("20.0.0.0/11")),
+    AutonomousSystem(63949, "Linode", "US", _prefix("45.33.0.0/17")),
+    AutonomousSystem(6939, "Hurricane Electric", "US", _prefix("64.62.0.0/17")),
+    AutonomousSystem(32, "Stanford University", "US", _prefix("171.64.0.0/14")),
+    AutonomousSystem(237, "Merit Network", "US", _prefix("198.108.0.0/16")),
+)
+
+#: Synthetic long-tail scanner origins.  Real scanning traffic in the paper
+#: comes from ~680 ASes per honeypot with a heavy tail; these fill that tail.
+_BACKGROUND_AS_SPECS: tuple[tuple[int, str, str, str], ...] = tuple(
+    (asn, name, country, cidr)
+    for asn, name, country, cidr in (
+        (4837, "China Unicom", "CN", "121.8.0.0/13"),
+        (45090, "Tencent", "CN", "119.28.0.0/15"),
+        (37963, "Alibaba", "CN", "47.92.0.0/14"),
+        (12389, "Rostelecom", "RU", "95.24.0.0/13"),
+        (49505, "Selectel", "RU", "92.53.64.0/18"),
+        (14061, "DigitalOcean", "US", "157.230.0.0/15"),
+        (16276, "OVH", "FR", "51.68.0.0/14"),
+        (24940, "Hetzner", "DE", "88.198.0.0/15"),
+        (51167, "Contabo", "DE", "173.212.192.0/18"),
+        (4766, "Korea Telecom", "KR", "58.120.0.0/13"),
+        (9318, "SK Broadband", "KR", "110.8.0.0/13"),
+        (17974, "Telkomnet", "ID", "114.120.0.0/13"),
+        (45899, "VNPT", "VN", "113.160.0.0/11"),
+        (7713, "Telkom Indonesia", "ID", "125.160.0.0/13"),
+        (3462, "HiNet", "TW", "59.102.0.0/15"),
+        (4760, "PCCW HKT", "HK", "112.118.0.0/15"),
+        (9498, "Bharti Airtel", "IN", "122.160.0.0/13"),
+        (45609, "Bharti Mobility", "IN", "106.192.0.0/11"),
+        (28573, "Claro Brasil", "BR", "177.32.0.0/12"),
+        (8151, "Uninet Mexico", "MX", "187.184.0.0/13"),
+        (3320, "Deutsche Telekom", "DE", "79.192.0.0/11"),
+        (3215, "Orange", "FR", "90.0.0.0/10"),
+        (2856, "BT", "GB", "86.128.0.0/10"),
+        (701, "Verizon", "US", "71.96.0.0/12"),
+        (7922, "Comcast", "US", "73.0.0.0/9"),
+        (20473, "Vultr (Choopa)", "US", "45.76.0.0/15"),
+        (396982, "Google Cloud Platform", "US", "35.192.0.0/12"),
+        (135377, "UCloud HK", "HK", "152.32.128.0/17"),
+        (202425, "IP Volume", "NL", "80.82.64.0/20"),
+        (204428, "SS-Net", "RO", "185.156.72.0/22"),
+        (211252, "Delis LLC", "RU", "193.3.19.0/24"),
+        (208843, "Alpha Strike Labs", "DE", "45.83.64.0/22"),
+        (47890, "Unmanaged LTD", "GB", "193.27.228.0/22"),
+        (57523, "Chang Way Technologies", "HK", "91.240.118.0/24"),
+        (49870, "Alsycon", "NL", "141.98.80.0/22"),
+        (36352, "ColoCrossing", "US", "192.3.0.0/16"),
+        (55286, "ServerMania", "US", "104.168.0.0/17"),
+        (29073, "Quasi Networks", "SC", "191.101.0.0/18"),
+        (9299, "Philippine LDT", "PH", "112.198.0.0/16"),
+    )
+)
+
+
+def default_registry(extra: Iterable[AutonomousSystem] = ()) -> ASRegistry:
+    """Build the default AS registry: paper ASes + background tail + extras."""
+    registry = ASRegistry(PAPER_ASES)
+    for asn, name, country, cidr in _BACKGROUND_AS_SPECS:
+        registry.add(AutonomousSystem(asn, name, country, _prefix(cidr)))
+    for system in extra:
+        registry.add(system)
+    return registry

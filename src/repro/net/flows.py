@@ -1,0 +1,140 @@
+"""Flow assembly: group raw packets into per-connection flow records.
+
+A *flow* here is one client connection attempt toward one (dst_ip,
+dst_port).  Honeypot frameworks consume flows rather than packets, which
+keeps their capture logic independent of wire details.  The assembler also
+powers the live loopback integration tests, where the same code path
+processes packets synthesized from real socket reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.net.packets import Packet, TcpConnection, Transport
+
+__all__ = ["Flow", "FlowAssembler", "assemble_flows"]
+
+
+@dataclass(frozen=True, slots=True)
+class Flow:
+    """One assembled connection attempt.
+
+    ``handshake_completed`` is False when the server side never responded
+    (telescope semantics) or the client never ACKed.  ``first_payload`` is
+    empty in that case by construction.
+    """
+
+    started_at: float
+    src_ip: int
+    src_port: int
+    dst_ip: int
+    dst_port: int
+    transport: Transport
+    handshake_completed: bool
+    first_payload: bytes
+    packet_count: int
+
+    @property
+    def has_payload(self) -> bool:
+        return bool(self.first_payload)
+
+
+class FlowAssembler:
+    """Incrementally assemble packets into flows.
+
+    ``server_responds`` controls handshake semantics for every tracked
+    connection — a telescope assembler passes ``False`` and therefore
+    produces payload-free flows.
+
+    Usage::
+
+        assembler = FlowAssembler(server_responds=True)
+        for packet in packets:
+            assembler.feed(packet)
+        flows = list(assembler.finish())
+    """
+
+    def __init__(self, server_responds: bool = True) -> None:
+        self._server_responds = server_responds
+        self._connections: dict[tuple, TcpConnection] = {}
+        self._udp_flows: dict[tuple, Flow] = {}
+        self._packet_counts: dict[tuple, int] = {}
+        self._order: list[tuple] = []
+
+    def feed(self, packet: Packet) -> None:
+        """Consume one packet."""
+        key = packet.flow_key
+        if key not in self._packet_counts:
+            self._order.append(key)
+            self._packet_counts[key] = 0
+        self._packet_counts[key] += 1
+
+        if packet.transport is Transport.UDP:
+            # UDP has no handshake: the first datagram *is* the payload.
+            if key not in self._udp_flows:
+                self._udp_flows[key] = Flow(
+                    started_at=packet.timestamp,
+                    src_ip=packet.src_ip,
+                    src_port=packet.src_port,
+                    dst_ip=packet.dst_ip,
+                    dst_port=packet.dst_port,
+                    transport=Transport.UDP,
+                    handshake_completed=False,
+                    first_payload=packet.payload if self._server_responds else b"",
+                    packet_count=0,
+                )
+            return
+
+        connection = self._connections.get(key)
+        if connection is None:
+            connection = TcpConnection(
+                client_ip=packet.src_ip,
+                client_port=packet.src_port,
+                server_ip=packet.dst_ip,
+                server_port=packet.dst_port,
+                responds=self._server_responds,
+            )
+            self._connections[key] = connection
+        connection.receive(packet)
+
+    def finish(self) -> Iterator[Flow]:
+        """Yield one flow per connection, in arrival order."""
+        for key in self._order:
+            count = self._packet_counts[key]
+            if key in self._udp_flows:
+                base = self._udp_flows[key]
+                yield Flow(
+                    started_at=base.started_at,
+                    src_ip=base.src_ip,
+                    src_port=base.src_port,
+                    dst_ip=base.dst_ip,
+                    dst_port=base.dst_port,
+                    transport=base.transport,
+                    handshake_completed=base.handshake_completed,
+                    first_payload=base.first_payload,
+                    packet_count=count,
+                )
+                continue
+            connection = self._connections[key]
+            src_ip, src_port, dst_ip, dst_port, transport = key
+            yield Flow(
+                started_at=connection.opened_at if connection.opened_at is not None else 0.0,
+                src_ip=src_ip,
+                src_port=src_port,
+                dst_ip=dst_ip,
+                dst_port=dst_port,
+                transport=transport,
+                handshake_completed=connection.handshake_completed,
+                first_payload=connection.first_payload,
+                packet_count=count,
+            )
+
+
+def assemble_flows(packets: Iterable[Packet], server_responds: bool = True) -> list[Flow]:
+    """One-shot helper: feed all packets and return the flow list."""
+    assembler = FlowAssembler(server_responds=server_responds)
+    for packet in packets:
+        assembler.feed(packet)
+    return list(assembler.finish())

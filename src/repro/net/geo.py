@@ -1,0 +1,129 @@
+"""Geography model: continents, countries, and cloud-region taxonomy.
+
+The paper groups continental regions "in the same manner that AWS and
+Google group datacenters (i.e., North America, Europe, Asia Pacific)"
+(Section 5.1).  Regions are identified by codes like ``US-OR``, ``AP-SG``,
+``EU-DE`` that appear throughout Tables 4, 5, and 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+__all__ = ["Continent", "GeoRegion", "REGIONS", "region", "regions_in", "region_pairs"]
+
+
+class Continent(str, Enum):
+    """Continental grouping used by AWS/Google datacenter taxonomy."""
+
+    NORTH_AMERICA = "NA"
+    EUROPE = "EU"
+    ASIA_PACIFIC = "AP"
+    SOUTH_AMERICA = "SA"
+    MIDDLE_EAST = "ME"
+    AFRICA = "AF"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class GeoRegion:
+    """A deployable geographic region (country, optionally a state/city).
+
+    ``code`` is the identifier used in result tables (e.g. ``AP-SG``);
+    ``country`` is an ISO-3166 alpha-2 code; ``subdivision`` disambiguates
+    multiple regions inside a country (e.g. US states).
+    """
+
+    code: str
+    country: str
+    continent: Continent
+    subdivision: str = ""
+    city: str = ""
+
+    @property
+    def is_asia_pacific(self) -> bool:
+        return self.continent is Continent.ASIA_PACIFIC
+
+    def __str__(self) -> str:
+        return self.code
+
+
+def _r(code: str, country: str, continent: Continent, subdivision: str = "", city: str = "") -> GeoRegion:
+    return GeoRegion(code, country, continent, subdivision, city)
+
+
+#: All geographic regions appearing in the paper's Table 1 deployments.
+REGIONS: tuple[GeoRegion, ...] = (
+    # --- North America ---
+    _r("US-OH", "US", Continent.NORTH_AMERICA, "OH", "Columbus"),
+    _r("US-OR", "US", Continent.NORTH_AMERICA, "OR", "The Dalles"),
+    _r("US-CA", "US", Continent.NORTH_AMERICA, "CA", "Los Angeles"),
+    _r("US-GA", "US", Continent.NORTH_AMERICA, "GA", "Atlanta"),
+    _r("US-NV", "US", Continent.NORTH_AMERICA, "NV", "Las Vegas"),
+    _r("US-UT", "US", Continent.NORTH_AMERICA, "UT", "Salt Lake City"),
+    _r("US-VA", "US", Continent.NORTH_AMERICA, "VA", "Ashburn"),
+    _r("US-SC", "US", Continent.NORTH_AMERICA, "SC", "Moncks Corner"),
+    _r("US-IA", "US", Continent.NORTH_AMERICA, "IA", "Council Bluffs"),
+    _r("US-TX", "US", Continent.NORTH_AMERICA, "TX", "San Antonio"),
+    _r("US-NY", "US", Continent.NORTH_AMERICA, "NY", "Newark"),
+    _r("US-WEST", "US", Continent.NORTH_AMERICA, "CA", "Stanford"),
+    _r("US-EAST", "US", Continent.NORTH_AMERICA, "MI", "Ann Arbor"),
+    _r("CA-QC", "CA", Continent.NORTH_AMERICA, "QC", "Montreal"),
+    _r("CA-TOR", "CA", Continent.NORTH_AMERICA, "ON", "Toronto"),
+    # --- Europe ---
+    _r("EU-FR", "FR", Continent.EUROPE, "", "Paris"),
+    _r("EU-IE", "IE", Continent.EUROPE, "", "Dublin"),
+    _r("EU-DE", "DE", Continent.EUROPE, "", "Frankfurt"),
+    _r("EU-CH", "CH", Continent.EUROPE, "", "Zurich"),
+    _r("EU-NL", "NL", Continent.EUROPE, "", "Eemshaven"),
+    _r("EU-GB", "GB", Continent.EUROPE, "", "London"),
+    _r("EU-BE", "BE", Continent.EUROPE, "", "St. Ghislain"),
+    _r("EU-FI", "FI", Continent.EUROPE, "", "Hamina"),
+    # --- Asia Pacific ---
+    _r("AP-AU", "AU", Continent.ASIA_PACIFIC, "", "Sydney"),
+    _r("AP-SG", "SG", Continent.ASIA_PACIFIC, "", "Singapore"),
+    _r("AP-IN", "IN", Continent.ASIA_PACIFIC, "", "Mumbai"),
+    _r("AP-KR", "KR", Continent.ASIA_PACIFIC, "", "Seoul"),
+    _r("AP-JP", "JP", Continent.ASIA_PACIFIC, "", "Tokyo"),
+    _r("AP-HK", "HK", Continent.ASIA_PACIFIC, "", "Hong Kong"),
+    _r("AP-TW", "TW", Continent.ASIA_PACIFIC, "", "Changhua"),
+    _r("AP-ID", "ID", Continent.ASIA_PACIFIC, "", "Jakarta"),
+    # --- Other ---
+    _r("SA-BR", "BR", Continent.SOUTH_AMERICA, "", "Sao Paulo"),
+    _r("ME-BH", "BH", Continent.MIDDLE_EAST, "", "Manama"),
+    _r("AF-ZA", "ZA", Continent.AFRICA, "", "Cape Town"),
+)
+
+_BY_CODE = {entry.code: entry for entry in REGIONS}
+
+
+def region(code: str) -> GeoRegion:
+    """Look up a region by its table code (e.g. ``"AP-SG"``)."""
+    try:
+        return _BY_CODE[code]
+    except KeyError:
+        raise KeyError(f"unknown region code {code!r}") from None
+
+
+def regions_in(continent: Continent, codes: Iterable[str] | None = None) -> list[GeoRegion]:
+    """All known regions in a continent, optionally restricted to ``codes``."""
+    pool = REGIONS if codes is None else [region(code) for code in codes]
+    return [entry for entry in pool if entry.continent is continent]
+
+
+def region_pairs(codes: Iterable[str]) -> list[tuple[GeoRegion, GeoRegion]]:
+    """All unordered pairs of distinct regions, in deterministic order.
+
+    The paper compares every pair of regions within a grouping (e.g. the
+    ``n=31`` US pairs of Table 5 column headers).
+    """
+    ordered = sorted({region(code) for code in codes})
+    pairs = []
+    for index, first in enumerate(ordered):
+        for second in ordered[index + 1 :]:
+            pairs.append((first, second))
+    return pairs

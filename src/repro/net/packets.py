@@ -1,0 +1,201 @@
+"""Layer-3/4 packet records and the TCP handshake state machine.
+
+Capture semantics in the paper differ per vantage type:
+
+* the **telescope** records only the first packet of a connection and never
+  completes the TCP handshake, so it can never observe payloads;
+* **Honeytrap** completes the handshake and records the first TCP payload
+  (or the first UDP payload);
+* **GreyNoise** sensors complete TCP/TLS handshakes and record the first
+  payload, plus full credential exchanges on SSH/Telnet ports via Cowrie.
+
+This module provides the packet record type and a server-side TCP state
+machine that the honeypot frameworks use to implement those semantics; the
+simulator and the live loopback replayer both speak it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+__all__ = ["Transport", "TcpFlags", "Packet", "TcpServerState", "TcpConnection", "syn_packet"]
+
+
+class Transport(str, enum.Enum):
+    """Transport-layer protocol of a packet."""
+
+    TCP = "tcp"
+    UDP = "udp"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class TcpFlags(enum.IntFlag):
+    """TCP header flags (subset used by the simulation)."""
+
+    NONE = 0
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+
+
+@dataclass(frozen=True, slots=True)
+class Packet:
+    """A single captured packet.
+
+    ``timestamp`` is in fractional hours since the start of the observation
+    window, matching the paper's per-hour volume analyses.
+    """
+
+    timestamp: float
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    transport: Transport = Transport.TCP
+    flags: TcpFlags = TcpFlags.NONE
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.src_port <= 65535:
+            raise ValueError(f"invalid src_port {self.src_port}")
+        if not 0 <= self.dst_port <= 65535:
+            raise ValueError(f"invalid dst_port {self.dst_port}")
+
+    @property
+    def is_syn(self) -> bool:
+        return bool(self.flags & TcpFlags.SYN) and not (self.flags & TcpFlags.ACK)
+
+    @property
+    def flow_key(self) -> tuple[int, int, int, int, Transport]:
+        return (self.src_ip, self.src_port, self.dst_ip, self.dst_port, self.transport)
+
+
+def syn_packet(
+    timestamp: float, src_ip: int, dst_ip: int, dst_port: int, src_port: int = 40000
+) -> Packet:
+    """Convenience constructor for the opening SYN of a TCP connection."""
+    return Packet(
+        timestamp=timestamp,
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        src_port=src_port,
+        dst_port=dst_port,
+        transport=Transport.TCP,
+        flags=TcpFlags.SYN,
+    )
+
+
+class TcpServerState(enum.Enum):
+    """Server-side TCP connection states (simplified RFC 793 subset)."""
+
+    LISTEN = "listen"
+    SYN_RECEIVED = "syn-received"
+    ESTABLISHED = "established"
+    CLOSED = "closed"
+
+
+@dataclass
+class TcpConnection:
+    """Server-side view of one TCP connection.
+
+    The honeypot frameworks feed client packets through :meth:`receive`;
+    the connection tracks handshake completion and accumulates the first
+    client payload, which is all the paper's capture stacks retain.
+
+    ``responds`` models whether the server completes handshakes at all:
+    a telescope sets ``responds=False`` and therefore never transitions
+    past SYN_RECEIVED, so no payload is ever observed.
+    """
+
+    client_ip: int
+    client_port: int
+    server_ip: int
+    server_port: int
+    responds: bool = True
+    state: TcpServerState = TcpServerState.LISTEN
+    opened_at: Optional[float] = None
+    first_payload: bytes = b""
+    payload_packets: int = 0
+
+    def receive(self, packet: Packet) -> None:
+        """Advance the state machine with one client packet."""
+        if packet.transport is not Transport.TCP:
+            raise ValueError("TcpConnection only accepts TCP packets")
+        if self.state is TcpServerState.CLOSED:
+            return
+        if packet.flags & TcpFlags.RST:
+            self.state = TcpServerState.CLOSED
+            return
+        if self.state is TcpServerState.LISTEN:
+            if packet.is_syn:
+                self.opened_at = packet.timestamp
+                self.state = TcpServerState.SYN_RECEIVED
+            return
+        if self.state is TcpServerState.SYN_RECEIVED:
+            if not self.responds:
+                # Server never sent SYN-ACK; client data can never arrive
+                # in a legitimate stack, so we stay here and drop payloads.
+                return
+            if packet.flags & TcpFlags.ACK:
+                self.state = TcpServerState.ESTABLISHED
+                # An ACK carrying data (common in replays) counts as payload.
+                self._absorb(packet)
+            return
+        if self.state is TcpServerState.ESTABLISHED:
+            self._absorb(packet)
+            if packet.flags & TcpFlags.FIN:
+                self.state = TcpServerState.CLOSED
+
+    def _absorb(self, packet: Packet) -> None:
+        if packet.payload:
+            self.payload_packets += 1
+            if not self.first_payload:
+                self.first_payload = packet.payload
+
+    @property
+    def handshake_completed(self) -> bool:
+        return self.state in (TcpServerState.ESTABLISHED, TcpServerState.CLOSED) and (
+            self.opened_at is not None
+        )
+
+
+def client_handshake_packets(
+    timestamp: float,
+    src_ip: int,
+    dst_ip: int,
+    dst_port: int,
+    payload: bytes = b"",
+    src_port: int = 40000,
+    inter_packet_gap: float = 1e-6,
+) -> Iterator[Packet]:
+    """Generate the client side of a TCP connection as a packet sequence.
+
+    Yields SYN, ACK (completing the handshake), and — if ``payload`` is
+    non-empty — a PSH+ACK data packet.  The simulator uses this to turn a
+    scan intent into wire traffic for whichever capture stack receives it.
+    """
+    yield syn_packet(timestamp, src_ip, dst_ip, dst_port, src_port)
+    yield Packet(
+        timestamp=timestamp + inter_packet_gap,
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        src_port=src_port,
+        dst_port=dst_port,
+        flags=TcpFlags.ACK,
+    )
+    if payload:
+        yield Packet(
+            timestamp=timestamp + 2 * inter_packet_gap,
+            src_ip=src_ip,
+            dst_ip=dst_ip,
+            src_port=src_port,
+            dst_port=dst_port,
+            flags=TcpFlags.PSH | TcpFlags.ACK,
+            payload=payload,
+        )

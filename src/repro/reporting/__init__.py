@@ -1,0 +1,7 @@
+"""Rendering helpers for experiment output."""
+
+from repro.reporting.markdown import experiment_to_markdown, write_markdown_report
+from repro.reporting.tables import ascii_plot, pct_cell, phi_cell, render_table
+
+__all__ = ["ascii_plot", "pct_cell", "phi_cell", "render_table",
+           "experiment_to_markdown", "write_markdown_report"]

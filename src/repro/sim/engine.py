@@ -1,0 +1,498 @@
+"""The traffic-simulation engine.
+
+The engine interprets a declarative :class:`~repro.scanners.base.ScannerSpec`
+population against a deployed vantage fleet:
+
+1. **Source allocation** — each campaign gets stable source IPs inside
+   its origin AS.
+2. **Crawl phase** — the Censys/Shodan models crawl every responding
+   vantage point (subject to the leak experiment's blocklists) and build
+   their service indexes.
+3. **Attack phase** — per (campaign, port), a weight vector over all
+   observable destinations is computed from the campaign's strategy;
+   session counts are Poisson draws; each session toward a honeypot
+   becomes a :class:`~repro.sim.events.ScanIntent` run through the
+   vantage's capture stack.  Telescope destinations are recorded through
+   the aggregated :class:`~repro.honeypots.telescope.TelescopeCapture`
+   (telescopes never capture payloads, so none are synthesized).
+4. **Search-engine-driven phase** — campaigns that mine an index send
+   spike bursts at the services it lists (or, in ``avoid`` mode, have
+   already had listed destinations zeroed out of their weights).
+
+Everything is deterministic given (seed, population, deployment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.honeypots.base import VantageCapture, VantagePoint
+
+if TYPE_CHECKING:  # imported lazily to avoid a deployment<->sim cycle
+    from repro.deployment.fleet import Deployment
+from repro.honeypots.telescope import TelescopeCapture
+from repro.net.asn import ASRegistry, default_registry
+from repro.net.ports import IANA_ASSIGNMENTS
+from repro.scanners.base import PortPlan, ScannerSpec
+from repro.scanners.strategies import KIND_INDEX, TargetSet
+from repro.searchengines.index import SearchEngine
+from repro.sim.clock import ObservationWindow, WEEK_2021
+from repro.sim.rng import RngHub
+
+__all__ = ["SimulationConfig", "SimulationResult", "Simulator", "run_simulation"]
+
+
+@dataclass
+class SimulationConfig:
+    """Tunable simulation parameters."""
+
+    seed: int = 20230701
+    window: ObservationWindow = WEEK_2021
+    crawl_time: float = -24.0  # engines crawled the fleet a day before the window
+    leak_crawl_time: float = 2.0  # leaked services are crawled at experiment start
+    max_sessions_per_pair: int = 512  # safety valve against runaway rates
+
+
+@dataclass
+class SimulationResult:
+    """Everything a simulation produced.
+
+    ``captures`` maps vantage_id → honeypot capture; ``telescope`` is the
+    aggregated telescope dataset; ``engines`` are the post-crawl search
+    engines.  ``population`` and ``source_ips`` are ground truth for
+    calibration/validation only — analyses must not read them.
+    """
+
+    config: SimulationConfig
+    deployment: Deployment
+    registry: ASRegistry
+    captures: dict[str, VantageCapture]
+    telescope: Optional[TelescopeCapture]
+    engines: dict[str, SearchEngine]
+    population: list[ScannerSpec]
+    source_ips: dict[str, np.ndarray]
+
+    @property
+    def window(self) -> ObservationWindow:
+        return self.config.window
+
+    def events(self) -> Iterable:
+        """All honeypot events across vantages (telescope excluded)."""
+        for capture in self.captures.values():
+            yield from capture.events
+
+    def honeypot_vantages(self) -> list[VantagePoint]:
+        return list(self.deployment.honeypots)
+
+    def total_events(self) -> int:
+        return sum(len(capture) for capture in self.captures.values())
+
+
+class Simulator:
+    """Drives one simulation run.  See module docstring for phases."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        population: Sequence[ScannerSpec],
+        config: SimulationConfig | None = None,
+        registry: ASRegistry | None = None,
+    ) -> None:
+        self.deployment = deployment
+        self.population = list(population)
+        self.config = config or SimulationConfig()
+        self.registry = registry or default_registry()
+        self.hub = RngHub(self.config.seed)
+        self._target_sets: dict[int, TargetSet] = {}
+        self._vantage_of_index: dict[int, list[Optional[VantagePoint]]] = {}
+        self._honeypot_counts: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # phase 1: sources
+    # ------------------------------------------------------------------
+
+    def _allocate_sources(self) -> dict[str, np.ndarray]:
+        sources: dict[str, np.ndarray] = {}
+        for spec in self.population:
+            allocated = [
+                self.registry.allocate_source(spec.asn) for _ in range(spec.num_sources)
+            ]
+            sources[spec.scanner_id] = np.asarray(allocated, dtype=np.uint32)
+        return sources
+
+    # ------------------------------------------------------------------
+    # phase 2: crawl
+    # ------------------------------------------------------------------
+
+    def _build_engines(self) -> dict[str, SearchEngine]:
+        engines = {
+            "censys": SearchEngine("censys", crawler_asn=398324),
+            "shodan": SearchEngine("shodan", crawler_asn=10439),
+        }
+        experiment = self.deployment.leak_experiment
+        if experiment is not None:
+            self._configure_leak_blocking(engines, experiment)
+        experiment_ips = set(experiment.all_ips) if experiment is not None else set()
+        for engine in engines.values():
+            for vantage in self.deployment.honeypots:
+                in_experiment = any(int(ip) in experiment_ips for ip in vantage.ips)
+                # Experiment honeypots come online (and leak) at the start
+                # of the window; the rest of the fleet was indexed long ago.
+                crawl_time = (
+                    self.config.leak_crawl_time if in_experiment else self.config.crawl_time
+                )
+                engine.crawl_vantage(vantage, crawl_time, IANA_ASSIGNMENTS)
+            if self.deployment.telescope is not None:
+                engine.crawl_vantage(
+                    self.deployment.telescope, self.config.crawl_time, IANA_ASSIGNMENTS
+                )
+        return engines
+
+    def _configure_leak_blocking(
+        self, engines: dict[str, SearchEngine], experiment
+    ) -> None:
+        """Apply the Section 4.3 blocklists.
+
+        Control and previously-leaked IPs block both engines outright
+        (previously-leaked ones additionally carry a years-old historical
+        HTTP/80 index entry).  Each leaked IP blocks everything except its
+        group's (engine, port) combination.
+        """
+        for engine in engines.values():
+            engine.block(experiment.control_ips)
+            engine.block(experiment.previously_leaked_ips)
+        for ip in experiment.previously_leaked_ips:
+            for engine in engines.values():
+                engine.seed_historical(ip, 80, "http", hours_before=2 * 365 * 24)
+        for group in experiment.leak_groups:
+            for ip in group.ips:
+                for engine_name, engine in engines.items():
+                    for port in engine.crawl_ports:
+                        if engine_name == group.engine and port == group.port:
+                            continue
+                        engine.block_service(ip, port)
+
+    # ------------------------------------------------------------------
+    # phase 3: targets
+    # ------------------------------------------------------------------
+
+    def _target_set_for(self, port: int) -> TargetSet:
+        cached = self._target_sets.get(port)
+        if cached is not None:
+            return cached
+
+        ips: list[np.ndarray] = []
+        kinds: list[np.ndarray] = []
+        regions: list[np.ndarray] = []
+        continents: list[np.ndarray] = []
+        networks: list[np.ndarray] = []
+        vantage_of_index: list[Optional[VantagePoint]] = []
+
+        for vantage in self.deployment.honeypots:
+            if not vantage.stack.observes(port):
+                continue
+            count = vantage.num_ips
+            ips.append(vantage.ips)
+            kinds.append(np.full(count, KIND_INDEX[vantage.kind], dtype=np.int8))
+            regions.append(np.full(count, vantage.region_code, dtype=object))
+            continents.append(np.full(count, vantage.continent, dtype=object))
+            networks.append(np.full(count, vantage.network, dtype=object))
+            vantage_of_index.extend([vantage] * count)
+
+        telescope = self.deployment.telescope
+        if telescope is not None:
+            count = telescope.num_ips
+            ips.append(telescope.ips)
+            kinds.append(np.full(count, KIND_INDEX[telescope.kind], dtype=np.int8))
+            regions.append(np.full(count, telescope.region_code, dtype=object))
+            continents.append(np.full(count, telescope.continent, dtype=object))
+            networks.append(np.full(count, telescope.network, dtype=object))
+            vantage_of_index.extend([None] * count)  # None marks telescope bulk path
+
+        if not ips:
+            raise RuntimeError(f"no vantage observes port {port}")
+
+        targets = TargetSet(
+            ips=np.concatenate(ips),
+            kind_codes=np.concatenate(kinds),
+            regions=np.concatenate(regions),
+            continents=np.concatenate(continents),
+            networks=np.concatenate(networks),
+        )
+        self._target_sets[port] = targets
+        self._vantage_of_index[port] = vantage_of_index
+        self._honeypot_counts[port] = sum(
+            1 for vantage in vantage_of_index if vantage is not None
+        )
+        return targets
+
+    # ------------------------------------------------------------------
+    # phase 4: traffic
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        source_ips = self._allocate_sources()
+        engines = self._build_engines()
+        captures = {
+            vantage.vantage_id: VantageCapture(vantage)
+            for vantage in self.deployment.honeypots
+        }
+        telescope_capture = (
+            TelescopeCapture(self.deployment.telescope)
+            if self.deployment.telescope is not None
+            else None
+        )
+
+        for spec in self.population:
+            self._run_spec(spec, source_ips[spec.scanner_id], engines, captures, telescope_capture)
+
+        return SimulationResult(
+            config=self.config,
+            deployment=self.deployment,
+            registry=self.registry,
+            captures=captures,
+            telescope=telescope_capture,
+            engines=engines,
+            population=self.population,
+            source_ips=source_ips,
+        )
+
+    def _run_spec(
+        self,
+        spec: ScannerSpec,
+        sources: np.ndarray,
+        engines: dict[str, SearchEngine],
+        captures: dict[str, VantageCapture],
+        telescope_capture: Optional[TelescopeCapture],
+    ) -> None:
+        for plan in spec.plans:
+            rng = self.hub.fork("scan", spec.scanner_id, plan.port)
+            targets = self._target_set_for(plan.port)
+            weights = spec.strategy.weights(self.hub, spec.scanner_id, targets)
+            weights = self._apply_search_avoidance(spec, plan, targets, weights, engines)
+            weights = self._apply_honeypot_evasion(spec, plan, weights)
+
+            expected = np.minimum(plan.rate * weights, self.config.max_sessions_per_pair)
+            sessions = rng.poisson(expected)
+            if sessions.sum() == 0 and spec.search_engine is None:
+                continue
+
+            vantage_of_index = self._vantage_of_index[plan.port]
+            self._emit_honeypot_sessions(
+                spec, plan, rng, sources, sessions, targets, vantage_of_index, captures
+            )
+            if telescope_capture is not None:
+                self._emit_telescope_sessions(
+                    spec, plan, rng, sources, sessions, vantage_of_index, telescope_capture
+                )
+            if spec.search_engine is not None and spec.search_engine.mode == "target":
+                self._emit_search_spikes(spec, plan, rng, sources, engines, captures)
+
+    def _apply_search_avoidance(
+        self,
+        spec: ScannerSpec,
+        plan: PortPlan,
+        targets: TargetSet,
+        weights: np.ndarray,
+        engines: dict[str, SearchEngine],
+    ) -> np.ndarray:
+        use = spec.search_engine
+        if use is None or use.mode != "avoid":
+            return weights
+        index = engines[use.engine].index
+        listed = {entry.ip for entry in index.services_on_port(plan.port)}
+        if not listed:
+            return weights
+        weights = weights.copy()
+        mask = np.fromiter((int(ip) in listed for ip in targets.ips), dtype=bool, count=len(targets))
+        weights[mask] = 0.0
+        return weights
+
+    def _apply_honeypot_evasion(
+        self, spec: ScannerSpec, plan: PortPlan, weights: np.ndarray
+    ) -> np.ndarray:
+        """Fingerprinting attackers withhold traffic from honeypots.
+
+        The telescope cannot be fingerprinted (it never responds), so its
+        slice of the index space — the tail — keeps full weight: evasive
+        campaigns remain telescope-visible while vanishing from honeypot
+        datasets, the bias Section 7 warns about.
+        """
+        evasion = spec.honeypot_evasion
+        if evasion <= 0.0:
+            return weights
+        honeypot_count = self._honeypot_counts[plan.port]
+        weights = weights.copy()
+        weights[:honeypot_count] *= 1.0 - evasion
+        return weights
+
+    def _emit_honeypot_sessions(
+        self,
+        spec: ScannerSpec,
+        plan: PortPlan,
+        rng: np.random.Generator,
+        sources: np.ndarray,
+        sessions: np.ndarray,
+        targets: TargetSet,
+        vantage_of_index: list[Optional[VantagePoint]],
+        captures: dict[str, VantageCapture],
+    ) -> None:
+        hours = float(self.config.window.hours)
+        source_asns = self._source_asns(spec, sources)
+        # Telescope destinations occupy the tail of the index space and are
+        # handled by the aggregated bulk path; only walk honeypot indices.
+        honeypot_count = self._honeypot_counts[plan.port]
+        for index in np.flatnonzero(sessions[:honeypot_count]):
+            vantage = vantage_of_index[index]
+            count = int(sessions[index])
+            dst_ip = int(targets.ips[index])
+            timestamps = plan.temporal.sample_times(rng, count, hours)
+            capture = captures[vantage.vantage_id]
+            for timestamp in timestamps:
+                source_index = int(rng.integers(len(sources)))
+                intent = plan.build_intent(
+                    rng,
+                    float(timestamp),
+                    int(sources[source_index]),
+                    dst_ip,
+                    dst_region=vantage.region_code,
+                )
+                capture.record(intent, int(source_asns[source_index]))
+
+    def _emit_telescope_sessions(
+        self,
+        spec: ScannerSpec,
+        plan: PortPlan,
+        rng: np.random.Generator,
+        sources: np.ndarray,
+        sessions: np.ndarray,
+        vantage_of_index: list[Optional[VantagePoint]],
+        telescope_capture: TelescopeCapture,
+    ) -> None:
+        telescope = telescope_capture.vantage
+        total = len(vantage_of_index)
+        start = total - telescope.num_ips
+        telescope_sessions = sessions[start:]
+        total_hits = int(telescope_sessions.sum())
+        if total_hits == 0:
+            return
+        # Split total hits across the campaign's sources.
+        if len(sources) == 1:
+            per_source = np.asarray([total_hits], dtype=np.int64)
+        else:
+            per_source = rng.multinomial(total_hits, np.full(len(sources), 1.0 / len(sources)))
+        source_asns = self._source_asns(spec, sources)
+        telescope_capture.record_source_hits(plan.port, sources, source_asns, per_source)
+        # Distinct sources per destination: a campaign with S sources that
+        # sends h packets to one dark IP exposes min(h, S) of them.
+        distinct = np.minimum(telescope_sessions, len(sources)).astype(np.int64)
+        telescope_capture.record_destination_sources(plan.port, distinct)
+
+    def _emit_search_spikes(
+        self,
+        spec: ScannerSpec,
+        plan: PortPlan,
+        rng: np.random.Generator,
+        sources: np.ndarray,
+        engines: dict[str, SearchEngine],
+        captures: dict[str, VantageCapture],
+    ) -> None:
+        use = spec.search_engine
+        assert use is not None and use.mode == "target"
+        engine = engines[use.engine]
+        hours = float(self.config.window.hours)
+        source_asns = self._source_asns(spec, sources)
+        vantage_by_ip = self._honeypot_by_ip()
+
+        boosted_plan = self._boost_credentials(plan, use.unique_credential_boost)
+        # One discovery roll per indexed *IP*: take the entry giving this
+        # campaign's port the best selection probability so that an IP
+        # indexed on many ports is not multiply counted.
+        best: dict[int, tuple[float, float]] = {}
+        for entry in engine.index.entries():
+            probability = use.selection_probability(
+                entry.first_indexed, port_match=entry.port == plan.port
+            )
+            visible_from = max(entry.first_indexed, 0.0)
+            current = best.get(entry.ip)
+            if current is None or probability > current[0]:
+                best[entry.ip] = (probability, visible_from)
+        for ip, (probability, visible_from) in best.items():
+            vantage = vantage_by_ip.get(ip)
+            if vantage is None:
+                continue  # telescope IPs never respond, never indexed anyway
+            if rng.random() >= probability:
+                continue
+            discovery = visible_from + rng.exponential(12.0)
+            if discovery >= hours:
+                continue
+            count = 1 + rng.poisson(use.spike_sessions)
+            limit = min(discovery + use.spike_hours, hours)
+            timestamps = rng.uniform(discovery, limit, size=count)
+            capture = captures[vantage.vantage_id]
+            for timestamp in timestamps:
+                source_index = int(rng.integers(len(sources)))
+                intent = boosted_plan.build_intent(
+                    rng,
+                    float(timestamp),
+                    int(sources[source_index]),
+                    ip,
+                    dst_region=vantage.region_code,
+                )
+                capture.record(intent, int(source_asns[source_index]))
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _source_asns(self, spec: ScannerSpec, sources: np.ndarray) -> np.ndarray:
+        # All of a campaign's sources live in its origin AS by construction.
+        return np.full(len(sources), spec.asn, dtype=np.int64)
+
+    def _honeypot_by_ip(self) -> dict[int, VantagePoint]:
+        cached = getattr(self, "_honeypot_ip_cache", None)
+        if cached is None:
+            cached = {
+                int(ip): vantage
+                for vantage in self.deployment.honeypots
+                for ip in vantage.ips
+            }
+            self._honeypot_ip_cache = cached
+        return cached
+
+    @staticmethod
+    def _boost_credentials(plan: PortPlan, boost: float) -> PortPlan:
+        """Search-engine-driven sessions try ~3x more unique credentials."""
+        if not plan.interactive or boost <= 1.0:
+            return plan
+        low, high = plan.credential_attempts
+        return PortPlan(
+            port=plan.port,
+            protocol=plan.protocol,
+            rate=plan.rate,
+            transport=plan.transport,
+            http_payloads=plan.http_payloads,
+            http_weights=plan.http_weights,
+            credential_dialect=plan.credential_dialect,
+            credential_attempts=(
+                max(1, int(low * boost)),
+                max(1, int(high * boost)),
+            ),
+            distinct_credentials=True,
+            banner_only_fraction=plan.banner_only_fraction,
+            region_dialects=plan.region_dialects,
+            temporal=plan.temporal,
+        )
+
+
+def run_simulation(
+    deployment: Deployment,
+    population: Sequence[ScannerSpec],
+    config: SimulationConfig | None = None,
+    registry: ASRegistry | None = None,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    return Simulator(deployment, population, config, registry).run()

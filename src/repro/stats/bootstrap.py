@@ -1,0 +1,75 @@
+"""Bootstrap confidence intervals for overlap estimates.
+
+The paper's Table 8/9 overlap percentages are point estimates over finite
+scanner populations; at reproduction scale the populations are smaller,
+so interval estimates matter when comparing against the paper's numbers.
+This module resamples *source IPs* (the sampling unit) with replacement
+and reports percentile intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+__all__ = ["BootstrapCI", "bootstrap_proportion", "overlap_ci"]
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A point estimate with a percentile bootstrap interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    resamples: int
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.estimate:.1f}% [{self.low:.1f}, {self.high:.1f}]"
+
+
+def bootstrap_proportion(
+    flags: Iterable[bool],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    rng: Optional[np.random.Generator] = None,
+) -> BootstrapCI:
+    """CI for a proportion of boolean per-unit outcomes.
+
+    ``flags[i]`` says whether unit *i* (a source IP) satisfies the
+    property (e.g. "also seen at the telescope").  Returns percentages.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    array = np.fromiter((bool(flag) for flag in flags), dtype=bool)
+    if array.size == 0:
+        return BootstrapCI(0.0, 0.0, 0.0, confidence, resamples)
+    rng = rng or np.random.default_rng(0)
+    estimate = 100.0 * float(array.mean())
+    samples = rng.choice(array, size=(resamples, array.size), replace=True)
+    means = 100.0 * samples.mean(axis=1)
+    tail = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [tail, 1.0 - tail])
+    return BootstrapCI(estimate, float(low), float(high), confidence, resamples)
+
+
+def overlap_ci(
+    numerator_set: set[int],
+    denominator_set: set[int],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    rng: Optional[np.random.Generator] = None,
+) -> BootstrapCI:
+    """CI for |numerator ∩ denominator| / |denominator| (a Table 8 cell).
+
+    Resamples the denominator's members (the observed scanner IPs).
+    """
+    members = sorted(denominator_set)
+    flags = [member in numerator_set for member in members]
+    return bootstrap_proportion(flags, confidence=confidence, resamples=resamples, rng=rng)

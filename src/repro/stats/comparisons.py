@@ -1,0 +1,58 @@
+"""High-level vantage-point comparisons.
+
+Glue between the raw counters the analyses build and the statistical
+primitives: top-3-union chi-squared comparisons of categorical traffic
+characteristics, and two-proportion comparisons for malicious-traffic
+fractions.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+import numpy as np
+
+from repro.stats.contingency import ChiSquareResult, chi_square_test
+from repro.stats.topk import union_table
+
+__all__ = ["compare_top_k", "compare_fractions", "bonferroni_alpha"]
+
+
+def bonferroni_alpha(alpha: float, num_comparisons: int) -> float:
+    """The per-test threshold after Bonferroni correction."""
+    if num_comparisons < 1:
+        raise ValueError("num_comparisons must be >= 1")
+    return alpha / num_comparisons
+
+
+def compare_top_k(
+    group_counts: Mapping[Hashable, Mapping[Hashable, float]], k: int = 3
+) -> ChiSquareResult:
+    """Section 3.3 comparison of a categorical characteristic.
+
+    ``group_counts`` maps each vantage point (or group) to its category
+    counter (ASes, usernames, passwords, or payloads).  The test runs on
+    the union of per-group top-k categories.
+    """
+    table, _groups, _categories = union_table(group_counts, k)
+    return chi_square_test(table)
+
+
+def compare_fractions(
+    group_fractions: Mapping[Hashable, tuple[float, float]]
+) -> ChiSquareResult:
+    """Compare malicious-traffic fractions across groups.
+
+    ``group_fractions`` maps each group to ``(malicious_count,
+    total_count)``; the chi-squared test runs on the 2-column
+    (malicious, non-malicious) table.
+    """
+    groups = sorted(group_fractions, key=repr)
+    table = np.zeros((len(groups), 2), dtype=np.float64)
+    for row, group in enumerate(groups):
+        malicious, total = group_fractions[group]
+        if malicious < 0 or total < malicious:
+            raise ValueError(f"invalid (malicious, total) for group {group!r}")
+        table[row, 0] = malicious
+        table[row, 1] = total - malicious
+    return chi_square_test(table)

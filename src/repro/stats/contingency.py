@@ -1,0 +1,135 @@
+"""Chi-squared contingency testing with Cramér's V effect sizes.
+
+Implements the comparison machinery of Section 3.3:
+
+* contingency tables over the *union of per-vantage top-k categories*
+  (never the long tail, which would flood the test with near-zero
+  expected frequencies);
+* the non-parametric chi-squared test with zero-margin guards;
+* Cramér's V (the paper's φ) with a magnitude classification that is
+  **degrees-of-freedom aware** — the paper stresses that identical φ
+  values can be different effect magnitudes under different dof, which
+  is exactly Cohen's w mapped through min(r−1, c−1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+__all__ = ["EffectMagnitude", "ChiSquareResult", "chi_square_test", "cramers_v_magnitude"]
+
+
+class EffectMagnitude(str, enum.Enum):
+    """Relative effect-size magnitude (the paper's blue/yellow/red)."""
+
+    NONE = "none"
+    SMALL = "small"
+    MEDIUM = "medium"
+    LARGE = "large"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Cohen's conventional w thresholds for small/medium/large effects.
+_COHEN_W_SMALL = 0.1
+_COHEN_W_MEDIUM = 0.3
+_COHEN_W_LARGE = 0.5
+
+
+def cramers_v_magnitude(phi: float, df_min: int) -> EffectMagnitude:
+    """Classify a Cramér's V value given min(r−1, c−1).
+
+    Cohen's w = φ·sqrt(df_min); the same φ therefore crosses the
+    small/medium/large thresholds at lower values when dof is larger.
+    """
+    if df_min < 1:
+        return EffectMagnitude.NONE
+    w = phi * np.sqrt(df_min)
+    if w >= _COHEN_W_LARGE:
+        return EffectMagnitude.LARGE
+    if w >= _COHEN_W_MEDIUM:
+        return EffectMagnitude.MEDIUM
+    if w >= _COHEN_W_SMALL:
+        return EffectMagnitude.SMALL
+    return EffectMagnitude.NONE
+
+
+@dataclass(frozen=True)
+class ChiSquareResult:
+    """Outcome of one chi-squared comparison.
+
+    ``p_value`` is uncorrected; callers apply Bonferroni by comparing
+    against ``alpha / num_comparisons`` via :meth:`significant`.
+    ``phi`` is Cramér's V; ``valid`` is False when the table was too
+    degenerate to test (a single row/column or an empty table), in which
+    case no significance claim can be made.
+    """
+
+    statistic: float
+    p_value: float
+    dof: int
+    phi: float
+    df_min: int
+    sample_size: int
+    valid: bool = True
+
+    @property
+    def magnitude(self) -> EffectMagnitude:
+        return cramers_v_magnitude(self.phi, self.df_min)
+
+    def significant(self, alpha: float = 0.05, num_comparisons: int = 1) -> bool:
+        """Bonferroni-corrected significance decision."""
+        if not self.valid:
+            return False
+        if num_comparisons < 1:
+            raise ValueError("num_comparisons must be >= 1")
+        return self.p_value < alpha / num_comparisons
+
+
+#: Result returned for untestable tables.
+_INVALID = ChiSquareResult(
+    statistic=0.0, p_value=1.0, dof=0, phi=0.0, df_min=0, sample_size=0, valid=False
+)
+
+
+def _trim_zero_margins(table: np.ndarray) -> np.ndarray:
+    """Drop all-zero rows and columns (zero expected frequencies)."""
+    table = table[table.sum(axis=1) > 0][:, table.sum(axis=0) > 0]
+    return table
+
+
+def chi_square_test(table: Sequence[Sequence[float]] | np.ndarray) -> ChiSquareResult:
+    """Chi-squared test of independence on a contingency table.
+
+    Rows are vantage points (or groups), columns are categories.  Returns
+    an invalid result rather than raising when the table degenerates —
+    the analyses interpret that as "cannot claim a difference".
+    """
+    array = np.asarray(table, dtype=np.float64)
+    if array.ndim != 2:
+        raise ValueError("contingency table must be 2-dimensional")
+    array = _trim_zero_margins(array)
+    rows, cols = array.shape if array.ndim == 2 else (0, 0)
+    if rows < 2 or cols < 2:
+        return _INVALID
+    total = float(array.sum())
+    if total <= 0:
+        return _INVALID
+
+    statistic, p_value, dof, _expected = scipy_stats.chi2_contingency(array)
+    df_min = min(rows - 1, cols - 1)
+    phi = float(np.sqrt(statistic / (total * df_min))) if df_min > 0 else 0.0
+    return ChiSquareResult(
+        statistic=float(statistic),
+        p_value=float(p_value),
+        dof=int(dof),
+        phi=min(phi, 1.0),
+        df_min=df_min,
+        sample_size=int(round(total)),
+    )

@@ -1,0 +1,81 @@
+"""Top-k category selection and union tables (paper Section 3.3).
+
+"We always choose the most popular 3 values for each characteristic
+(e.g., top 3 payloads, top 3 scanning ASes) for each vantage point and
+perform the chi-squared test on the union of all unique top 3
+characteristics across vantage points."
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["top_k", "top_k_union", "union_table", "median_counter"]
+
+
+def top_k(counts: Mapping[Hashable, float] | Counter, k: int = 3) -> list[Hashable]:
+    """The k most common categories, ties broken deterministically.
+
+    Ties are resolved by category representation so results do not depend
+    on dict insertion order (which would make analyses seed-fragile).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    ordered = sorted(counts.items(), key=lambda item: (-item[1], repr(item[0])))
+    return [category for category, count in ordered[:k] if count > 0]
+
+
+def top_k_union(
+    group_counts: Mapping[Hashable, Mapping[Hashable, float]], k: int = 3
+) -> list[Hashable]:
+    """Union of each group's top-k categories, deterministically ordered."""
+    union: set[Hashable] = set()
+    for counts in group_counts.values():
+        union.update(top_k(counts, k))
+    return sorted(union, key=repr)
+
+
+def union_table(
+    group_counts: Mapping[Hashable, Mapping[Hashable, float]], k: int = 3
+) -> tuple[np.ndarray, list[Hashable], list[Hashable]]:
+    """Build the Section 3.3 contingency table.
+
+    Rows are groups (vantage points), columns are the union of per-group
+    top-k categories; cells are each group's counts *restricted to those
+    categories* (the long tail is excluded, not pooled).
+
+    Returns ``(table, group_order, category_order)``.
+    """
+    categories = top_k_union(group_counts, k)
+    groups = sorted(group_counts, key=repr)
+    table = np.zeros((len(groups), len(categories)), dtype=np.float64)
+    for row, group in enumerate(groups):
+        counts = group_counts[group]
+        for col, category in enumerate(categories):
+            table[row, col] = float(counts.get(category, 0))
+    return table, groups, categories
+
+
+def median_counter(counters: Sequence[Mapping[Hashable, float]]) -> Counter:
+    """Per-category median count across a group of honeypots.
+
+    Section 4.4: regional comparisons "compar[e] the median expected
+    values (e.g., the median number of packets sent by an AS within a
+    group of honeypots) across groups" to suppress single-target attacker
+    latching.  Categories absent from a honeypot count as zero there.
+    """
+    if not counters:
+        return Counter()
+    categories: set[Hashable] = set()
+    for counts in counters:
+        categories.update(counts)
+    result: Counter = Counter()
+    for category in categories:
+        values = [float(counts.get(category, 0)) for counts in counters]
+        median = float(np.median(values))
+        if median > 0:
+            result[category] = median
+    return result

@@ -1,0 +1,120 @@
+"""Traffic-volume statistics for the search-engine leak experiment.
+
+Section 4.3 uses two tests on hourly traffic volumes:
+
+* a **one-sided Mann–Whitney U** test of whether the per-hour volume
+  toward leaked services is stochastically greater than toward the
+  control group (Table 3 bold entries);
+* a **Kolmogorov–Smirnov** test of whether the hourly-volume
+  distributions differ at all — upon manual verification the paper
+  attributes these differences to *spikes* of traffic (Table 3
+  asterisks).
+
+This module provides both, plus hourly binning and a spike detector used
+by the analyses and by validation tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+__all__ = [
+    "hourly_volumes",
+    "VolumeComparison",
+    "mann_whitney_greater",
+    "kolmogorov_smirnov",
+    "compare_volumes",
+    "count_spikes",
+    "fold_increase",
+]
+
+
+def hourly_volumes(timestamps: Iterable[float], hours: int) -> np.ndarray:
+    """Bin event timestamps (fractional hours) into per-hour counts."""
+    if hours <= 0:
+        raise ValueError("hours must be positive")
+    array = np.fromiter((float(t) for t in timestamps), dtype=np.float64)
+    counts, _edges = np.histogram(array, bins=hours, range=(0.0, float(hours)))
+    return counts.astype(np.float64)
+
+
+@dataclass(frozen=True)
+class VolumeComparison:
+    """Joint result of the Table 3 tests for one leaked/control pair."""
+
+    fold: float
+    mwu_p: float
+    ks_p: float
+
+    def stochastically_greater(self, alpha: float = 0.05) -> bool:
+        """Bold marker: leaked volume stochastically exceeds control."""
+        return self.mwu_p < alpha
+
+    def distribution_differs(self, alpha: float = 0.05) -> bool:
+        """Asterisk marker: hourly distributions differ (spikes)."""
+        return self.ks_p < alpha
+
+
+def mann_whitney_greater(leaked: Sequence[float], control: Sequence[float]) -> float:
+    """One-sided MWU p-value: is ``leaked`` stochastically greater?"""
+    leaked = np.asarray(leaked, dtype=np.float64)
+    control = np.asarray(control, dtype=np.float64)
+    if leaked.size == 0 or control.size == 0:
+        return 1.0
+    if np.all(leaked == leaked[0]) and np.all(control == leaked[0]):
+        return 1.0  # identical constant samples: no evidence either way
+    result = scipy_stats.mannwhitneyu(leaked, control, alternative="greater")
+    return float(result.pvalue)
+
+
+def kolmogorov_smirnov(leaked: Sequence[float], control: Sequence[float]) -> float:
+    """Two-sample KS p-value on hourly-volume distributions."""
+    leaked = np.asarray(leaked, dtype=np.float64)
+    control = np.asarray(control, dtype=np.float64)
+    if leaked.size == 0 or control.size == 0:
+        return 1.0
+    result = scipy_stats.ks_2samp(leaked, control)
+    return float(result.pvalue)
+
+
+def fold_increase(leaked: Sequence[float], control: Sequence[float]) -> float:
+    """Mean traffic-per-hour ratio, the headline number of Table 3.
+
+    A zero-traffic control yields ``inf`` when the leaked side saw any
+    traffic at all, and 1.0 when neither side did.
+    """
+    leaked_mean = float(np.mean(leaked)) if len(leaked) else 0.0
+    control_mean = float(np.mean(control)) if len(control) else 0.0
+    if control_mean == 0.0:
+        return float("inf") if leaked_mean > 0 else 1.0
+    return leaked_mean / control_mean
+
+
+def compare_volumes(leaked: Sequence[float], control: Sequence[float]) -> VolumeComparison:
+    """Run all three Table 3 measures on a pair of hourly series."""
+    return VolumeComparison(
+        fold=fold_increase(leaked, control),
+        mwu_p=mann_whitney_greater(leaked, control),
+        ks_p=kolmogorov_smirnov(leaked, control),
+    )
+
+
+def count_spikes(hourly: Sequence[float], threshold_sigmas: float = 3.0) -> int:
+    """Count hours whose volume exceeds mean + k·std.
+
+    The paper observes that leaked services attract more *spikes* —
+    brief bursts right after an attacker finds the service in a search
+    engine.  A flat series (std = 0) has no spikes by definition.
+    """
+    array = np.asarray(hourly, dtype=np.float64)
+    if array.size == 0:
+        return 0
+    std = float(array.std())
+    if std == 0.0:
+        return 0
+    cutoff = float(array.mean()) + threshold_sigmas * std
+    return int(np.count_nonzero(array > cutoff))

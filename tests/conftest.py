@@ -1,0 +1,34 @@
+"""Shared fixtures: one small simulated dataset reused across tests.
+
+Building a simulation is the expensive step, so integration tests share a
+session-scoped context at a reduced population scale and telescope size.
+"""
+
+import pytest
+
+from repro.experiments.context import ExperimentConfig, get_context
+
+SMALL = ExperimentConfig(year=2021, scale=0.25, telescope_slash24s=8, seed=1234)
+SMALL_2020 = ExperimentConfig(year=2020, scale=0.25, telescope_slash24s=8, seed=1234)
+SMALL_2022 = ExperimentConfig(year=2022, scale=0.25, telescope_slash24s=8, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def small_context():
+    """A small 2021 simulation shared by all integration tests."""
+    return get_context(SMALL)
+
+
+@pytest.fixture(scope="session")
+def small_context_2020():
+    return get_context(SMALL_2020)
+
+
+@pytest.fixture(scope="session")
+def small_context_2022():
+    return get_context(SMALL_2022)
+
+
+@pytest.fixture(scope="session")
+def dataset(small_context):
+    return small_context.dataset

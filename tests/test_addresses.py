@@ -1,0 +1,199 @@
+"""Unit and property tests for repro.net.addresses."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addresses import (
+    IPv4Address,
+    Prefix,
+    ends_in_255,
+    has_255_octet,
+    int_to_ip,
+    ip_to_int,
+    is_first_of_slash16,
+    is_first_of_slash24,
+    octets_of,
+    rolling_average,
+    summarize_structures,
+    vector_ends_in_255,
+    vector_has_255_octet,
+    vector_is_first_of_slash16,
+)
+
+addresses = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+class TestParsing:
+    def test_parse_simple(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert ip_to_int("255.255.255.255") == (1 << 32) - 1
+        assert ip_to_int("1.2.3.4") == 0x01020304
+
+    def test_format_simple(self):
+        assert int_to_ip(0x01020304) == "1.2.3.4"
+        assert int_to_ip(0) == "0.0.0.0"
+
+    @pytest.mark.parametrize("bad", ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1..2.3"])
+    def test_parse_rejects_invalid(self, bad):
+        with pytest.raises(ValueError):
+            ip_to_int(bad)
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_to_ip(1 << 32)
+        with pytest.raises(ValueError):
+            int_to_ip(-1)
+
+    @given(addresses)
+    def test_round_trip(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+    @given(addresses)
+    def test_octets_reassemble(self, value):
+        a, b, c, d = octets_of(value)
+        assert (a << 24) | (b << 16) | (c << 8) | d == value
+        assert all(0 <= octet <= 255 for octet in (a, b, c, d))
+
+
+class TestStructurePredicates:
+    def test_has_255_octet_positions(self):
+        assert has_255_octet(ip_to_int("255.0.0.1"))
+        assert has_255_octet(ip_to_int("1.255.0.1"))
+        assert has_255_octet(ip_to_int("1.0.255.1"))
+        assert has_255_octet(ip_to_int("1.0.0.255"))
+        assert not has_255_octet(ip_to_int("1.2.3.4"))
+
+    def test_ends_in_255(self):
+        assert ends_in_255(ip_to_int("10.0.0.255"))
+        assert not ends_in_255(ip_to_int("255.0.0.1"))
+
+    def test_first_of_slash16(self):
+        assert is_first_of_slash16(ip_to_int("10.20.0.0"))
+        assert not is_first_of_slash16(ip_to_int("10.20.0.1"))
+        assert not is_first_of_slash16(ip_to_int("10.20.1.0"))
+
+    def test_first_of_slash24(self):
+        assert is_first_of_slash24(ip_to_int("10.20.30.0"))
+        assert not is_first_of_slash24(ip_to_int("10.20.30.1"))
+
+    @given(addresses)
+    def test_ends_in_255_implies_has_255(self, value):
+        if ends_in_255(value):
+            assert has_255_octet(value)
+
+    @given(st.lists(addresses, min_size=1, max_size=64))
+    def test_vector_predicates_match_scalar(self, values):
+        array = np.asarray(values, dtype=np.uint32)
+        assert list(vector_has_255_octet(array)) == [has_255_octet(v) for v in values]
+        assert list(vector_ends_in_255(array)) == [ends_in_255(v) for v in values]
+        assert list(vector_is_first_of_slash16(array)) == [is_first_of_slash16(v) for v in values]
+
+    def test_summarize_structures(self):
+        ips = [ip_to_int(x) for x in ("10.0.0.255", "10.255.0.1", "10.1.0.0", "1.2.3.4")]
+        summary = summarize_structures(ips)
+        assert summary["total"] == 4
+        assert summary["has_255_octet"] == 2
+        assert summary["ends_in_255"] == 1
+        assert summary["first_of_slash16"] == 1
+
+
+class TestIPv4Address:
+    def test_properties(self):
+        addr = IPv4Address.parse("192.0.2.255")
+        assert addr.ends_in_255 and addr.has_255_octet
+        assert str(addr) == "192.0.2.255"
+        assert int(addr) == ip_to_int("192.0.2.255")
+        assert addr.octets == (192, 0, 2, 255)
+
+    def test_ordering(self):
+        assert IPv4Address.parse("1.0.0.1") < IPv4Address.parse("1.0.0.2")
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            IPv4Address(1 << 32)
+
+
+class TestPrefix:
+    def test_parse_and_membership(self):
+        net = Prefix.parse("198.51.100.0/26")
+        assert net.num_addresses == 64
+        assert ip_to_int("198.51.100.0") in net
+        assert ip_to_int("198.51.100.63") in net
+        assert ip_to_int("198.51.100.64") not in net
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix(ip_to_int("10.0.0.1"), 24)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            Prefix(0, 33)
+
+    def test_missing_length(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.0")
+
+    def test_first_last(self):
+        net = Prefix.parse("10.0.0.0/24")
+        assert int_to_ip(net.first) == "10.0.0.0"
+        assert int_to_ip(net.last) == "10.0.0.255"
+
+    def test_iteration_matches_len(self):
+        net = Prefix.parse("10.0.0.0/29")
+        assert len(list(net)) == len(net) == 8
+
+    def test_addresses_array(self):
+        net = Prefix.parse("10.0.0.0/30")
+        assert list(net.addresses()) == [net.first + i for i in range(4)]
+
+    def test_subnets(self):
+        net = Prefix.parse("10.0.0.0/24")
+        subnets = list(net.subnets(26))
+        assert len(subnets) == 4
+        assert str(subnets[1]) == "10.0.0.64/26"
+
+    def test_subnets_invalid(self):
+        with pytest.raises(ValueError):
+            list(Prefix.parse("10.0.0.0/24").subnets(23))
+
+    def test_zero_length_prefix_contains_everything(self):
+        net = Prefix(0, 0)
+        assert ip_to_int("255.255.255.255") in net
+
+    @given(addresses, st.integers(min_value=0, max_value=32))
+    def test_network_address_always_member(self, value, length):
+        mask = 0 if length == 0 else (((1 << 32) - 1) << (32 - length)) & ((1 << 32) - 1)
+        net = Prefix(value & mask, length)
+        assert net.first in net
+        assert net.last in net
+
+
+class TestRollingAverage:
+    def test_constant_series(self):
+        out = rolling_average(np.ones(100), 10)
+        assert out.shape == (100,)
+        assert np.allclose(out, 1.0)
+
+    def test_partial_head_window(self):
+        out = rolling_average(np.arange(5, dtype=float), 2)
+        assert np.allclose(out, [0.0, 0.5, 1.5, 2.5, 3.5])
+
+    def test_window_larger_than_series(self):
+        out = rolling_average(np.arange(3, dtype=float), 512)
+        assert np.allclose(out, [0.0, 0.5, 1.0])
+
+    def test_empty(self):
+        assert rolling_average(np.array([]), 4).size == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            rolling_average(np.ones(3), 0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200),
+           st.integers(min_value=1, max_value=64))
+    def test_output_within_range(self, values, window):
+        out = rolling_average(np.asarray(values), window)
+        assert out.shape == (len(values),)
+        assert out.min() >= min(values) - 1e-6
+        assert out.max() <= max(values) + 1e-6

@@ -1,0 +1,134 @@
+"""Tests for the AS registry and geography model."""
+
+import pytest
+
+from repro.net.addresses import Prefix, ip_to_int
+from repro.net.asn import ASRegistry, AutonomousSystem, PAPER_ASES, default_registry
+from repro.net.geo import Continent, REGIONS, region, region_pairs, regions_in
+
+
+class TestAutonomousSystem:
+    def test_membership(self):
+        system = AutonomousSystem(65000, "Test", "US", (Prefix.parse("10.0.0.0/24"),))
+        assert ip_to_int("10.0.0.5") in system
+        assert ip_to_int("10.0.1.5") not in system
+
+    def test_rejects_nonpositive_asn(self):
+        with pytest.raises(ValueError):
+            AutonomousSystem(0, "Bad", "US")
+
+    def test_str(self):
+        system = AutonomousSystem(4134, "Chinanet", "CN")
+        assert "AS4134" in str(system)
+
+
+class TestASRegistry:
+    def test_default_registry_contains_paper_ases(self):
+        registry = default_registry()
+        for system in PAPER_ASES:
+            assert system.asn in registry
+            assert registry.get(system.asn).name == system.name
+
+    def test_lookup_longest_prefix(self):
+        registry = ASRegistry(
+            [
+                AutonomousSystem(1, "Big", "US", (Prefix.parse("10.0.0.0/8"),)),
+                AutonomousSystem(2, "Small", "US", (Prefix.parse("10.1.0.0/16"),)),
+            ]
+        )
+        assert registry.lookup(ip_to_int("10.1.2.3")).asn == 2
+        assert registry.lookup(ip_to_int("10.2.2.3")).asn == 1
+        assert registry.lookup(ip_to_int("11.0.0.1")) is None
+
+    def test_asn_of_unrouted_raises(self):
+        registry = ASRegistry()
+        with pytest.raises(KeyError):
+            registry.asn_of(ip_to_int("203.0.113.1"))
+
+    def test_duplicate_asn_rejected(self):
+        registry = ASRegistry([AutonomousSystem(1, "A", "US", (Prefix.parse("10.0.0.0/8"),))])
+        with pytest.raises(ValueError):
+            registry.add(AutonomousSystem(1, "B", "US"))
+
+    def test_duplicate_prefix_rejected(self):
+        registry = ASRegistry([AutonomousSystem(1, "A", "US", (Prefix.parse("10.0.0.0/8"),))])
+        with pytest.raises(ValueError):
+            registry.add(AutonomousSystem(2, "B", "US", (Prefix.parse("10.0.0.0/8"),)))
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            ASRegistry().get(99999)
+
+    def test_allocation_unique_and_inside_prefix(self):
+        registry = default_registry()
+        allocated = {registry.allocate_source(4134) for _ in range(100)}
+        assert len(allocated) == 100
+        for address in allocated:
+            assert registry.asn_of(address) == 4134
+
+    def test_allocation_exhaustion(self):
+        registry = ASRegistry(
+            [AutonomousSystem(1, "Tiny", "US", (Prefix.parse("10.0.0.0/30"),))]
+        )
+        registry.allocate_source(1)
+        registry.allocate_source(1)
+        registry.allocate_source(1)
+        with pytest.raises(RuntimeError):
+            registry.allocate_source(1)
+
+    def test_allocation_without_prefix(self):
+        registry = ASRegistry([AutonomousSystem(1, "NoPrefix", "US")])
+        with pytest.raises(RuntimeError):
+            registry.allocate_source(1)
+
+    def test_iteration_and_len(self):
+        registry = default_registry()
+        assert len(registry) == len(list(registry))
+        assert len(registry) > 40  # paper ASes + background tail
+
+    def test_registry_prefixes_disjoint(self):
+        """No two ASes may announce overlapping space at the same length."""
+        registry = default_registry()
+        seen: set[tuple[int, int]] = set()
+        for system in registry:
+            for prefix in system.prefixes:
+                key = (prefix.network, prefix.length)
+                assert key not in seen
+                seen.add(key)
+
+
+class TestGeography:
+    def test_region_lookup(self):
+        sg = region("AP-SG")
+        assert sg.country == "SG"
+        assert sg.continent is Continent.ASIA_PACIFIC
+        assert sg.is_asia_pacific
+
+    def test_unknown_region(self):
+        with pytest.raises(KeyError):
+            region("XX-YY")
+
+    def test_region_codes_unique(self):
+        codes = [entry.code for entry in REGIONS]
+        assert len(codes) == len(set(codes))
+
+    def test_regions_in_continent(self):
+        ap = regions_in(Continent.ASIA_PACIFIC)
+        assert all(entry.continent is Continent.ASIA_PACIFIC for entry in ap)
+        assert {"AP-SG", "AP-JP"} <= {entry.code for entry in ap}
+
+    def test_regions_in_with_codes(self):
+        found = regions_in(Continent.EUROPE, ["EU-DE", "AP-SG", "US-CA"])
+        assert [entry.code for entry in found] == ["EU-DE"]
+
+    def test_region_pairs_count(self):
+        pairs = region_pairs(["US-CA", "US-OR", "US-NV"])
+        assert len(pairs) == 3
+        assert all(first != second for first, second in pairs)
+
+    def test_region_pairs_deduplicate(self):
+        assert len(region_pairs(["US-CA", "US-CA", "US-OR"])) == 1
+
+    def test_us_states_disambiguated(self):
+        assert region("US-CA").subdivision == "CA"
+        assert region("US-OR").subdivision == "OR"

@@ -1,0 +1,97 @@
+"""Tests for the cloudwatching CLI."""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.cli import EXPERIMENT_YEARS, main
+from repro.experiments import ALL_EXPERIMENTS
+from repro.io.records import read_events
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        printed = capsys.readouterr().out.split()
+        assert set(printed) == set(ALL_EXPERIMENTS)
+
+
+class TestRun:
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["run", "T99"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_runs_requested_experiments(self, capsys):
+        code = main(["run", "T6", "M1", "--scale", "0.1", "--telescope", "4",
+                     "--seed", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== T6:" in out and "== M1:" in out
+        assert "completed in" in out
+
+    def test_year_mapping_complete(self):
+        assert set(EXPERIMENT_YEARS) == {"T12", "T13", "T14", "T15", "T16", "T17"}
+
+
+class TestSimulate:
+    def test_writes_readable_dataset(self, tmp_path, capsys):
+        output = tmp_path / "release.ndjson.gz"
+        code = main(["simulate", str(output), "--scale", "0.1",
+                     "--telescope", "4", "--seed", "5"])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        events = list(read_events(output))
+        assert len(events) > 100
+
+
+class TestServe:
+    def test_rejects_unknown_service(self, capsys):
+        assert main(["serve", "--port", "9999=gopher", "--duration", "0.1"]) == 2
+        assert "unknown service" in capsys.readouterr().err
+
+    def test_serves_and_captures(self, capsys):
+        """Start serve in a thread, poke the honeypot, check the report."""
+        results = {}
+
+        def _serve():
+            results["code"] = main(["serve", "--port", "0=http", "--duration", "1.5"])
+
+        thread = threading.Thread(target=_serve)
+        thread.start()
+        try:
+            time.sleep(0.4)
+            out_so_far = capsys.readouterr().out
+            # Parse the bound port from the startup line.
+            line = next(l for l in out_so_far.splitlines() if "listening on" in l)
+            port = int(line.split("127.0.0.1:")[1].split(" ")[0])
+
+            async def _poke():
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                writer.write(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+                await writer.drain()
+                await reader.read(4096)
+                writer.close()
+                await writer.wait_closed()
+
+            asyncio.run(_poke())
+        finally:
+            thread.join(timeout=10)
+        assert results["code"] == 0
+        out = capsys.readouterr().out
+        assert "captured 1 sessions" in out
+        assert "GET / HTTP/1.1" in out
+
+
+class TestMarkdownOutput:
+    def test_run_writes_markdown_report(self, tmp_path, capsys):
+        report = tmp_path / "report.md"
+        code = main(["run", "T6", "M1", "--scale", "0.1", "--telescope", "4",
+                     "--seed", "5", "--output", str(report)])
+        assert code == 0
+        text = report.read_text()
+        assert text.startswith("# Cloud Watching")
+        assert "## T6:" in text and "## M1:" in text
+        assert "```text" in text
+        assert "markdown report written" in capsys.readouterr().out

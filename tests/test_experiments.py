@@ -1,0 +1,216 @@
+"""Smoke + shape tests for every experiment driver (T1-T17, F1, M1)."""
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    figure01_address_structure,
+    method_maliciousness,
+    table01_vantage_points,
+    table02_neighborhoods,
+    table03_search_engines,
+    table04_geo_most_different,
+    table05_geo_similarity,
+    table06_colocated,
+    table07_network_types,
+    table08_telescope_overlap,
+    table09_attacker_overlap,
+    table10_telescope_as,
+    table11_unexpected_protocols,
+)
+from repro.experiments.temporal import (
+    run_table12,
+    run_table13,
+    run_table14,
+    run_table15,
+    run_table16,
+    run_table17,
+)
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        expected = {f"T{i}" for i in range(1, 18)} | {"F1", "M1", "X1", "X2", "X3", "X4"}
+        assert set(ALL_EXPERIMENTS) == expected
+
+
+class TestDrivers2021:
+    def test_t1(self, small_context):
+        output = table01_vantage_points.run(small_context)
+        assert output.experiment_id == "T1"
+        assert "orion" in output.text
+        networks = {row.network for row in output.data}
+        assert {"aws", "google", "azure", "linode", "hurricane",
+                "stanford", "merit", "orion"} <= networks
+
+    def test_t2(self, small_context):
+        output = table02_neighborhoods.run(small_context)
+        assert output.experiment_id == "T2"
+        cells = output.data.cells
+        assert len(cells) == 14  # 4+4+3+3 slice/characteristic combinations
+        assert any(cell.num_different > 0 for cell in cells)
+
+    def test_t3(self, small_context):
+        output = table03_search_engines.run(small_context)
+        rows = output.data["rows"]
+        assert len(rows) == 18  # 3 services x 3 groups x 2 traffic classes
+        assert output.data["unique_passwords"]["control"] > 0
+
+    def test_t4(self, small_context):
+        output = table04_geo_most_different.run(small_context)
+        cells = output.data
+        networks = {cell.network for cell in cells}
+        assert networks == {"aws", "google", "linode"}
+        significant = [cell for cell in cells if cell.region is not None]
+        assert significant, "some region must deviate"
+        # The paper's headline: deviant regions concentrate in Asia Pacific.
+        ap_share = sum(1 for cell in significant if cell.region.startswith("AP")) / len(
+            significant
+        )
+        assert ap_share > 0.5
+
+    def test_t5(self, small_context):
+        output = table05_geo_similarity.run(small_context)
+        groupings = {summary.grouping for summary in output.data}
+        assert {"US", "APAC", "intercontinental"} <= groupings
+
+        def mean_similarity(grouping, characteristic):
+            cells = [
+                s for s in output.data
+                if s.grouping == grouping and s.characteristic == characteristic
+                and s.num_pairs > 0
+            ]
+            return sum(c.percent_similar for c in cells) / len(cells)
+
+        # US regions more alike than APAC regions (Table 5's central claim).
+        assert mean_similarity("US", "payload") >= mean_similarity("APAC", "payload")
+
+    def test_t6(self, small_context):
+        output = table06_colocated.run(small_context)
+        assert output.data, "co-located cloud pairs must exist"
+        assert all(region.startswith(("US", "EU", "CA")) for _a, _b, region in output.data)
+
+    def test_t7(self, small_context):
+        output = table07_network_types.run(small_context)
+        comparisons = {cell.comparison for cell in output.data}
+        assert comparisons == {"cloud-cloud", "cloud-edu", "edu-edu"}
+        unmeasurable = [cell for cell in output.data if not cell.measurable]
+        # Honeytrap sites cannot observe credentials: x cells exist.
+        assert any(cell.characteristic in ("username", "password") for cell in unmeasurable)
+
+    def test_t8(self, small_context):
+        output = table08_telescope_overlap.run(small_context)
+        assert [row.port for row in output.data] == [23, 2323, 80, 8080, 21, 2222, 25, 7547, 22, 443]
+
+    def test_t9(self, small_context):
+        output = table09_attacker_overlap.run(small_context)
+        ssh_row = next(row for row in output.data if row.port == 22)
+        assert ssh_row.telescope_edu_pct is None  # x in the paper
+
+    def test_t10(self, small_context):
+        output = table10_telescope_as.run(small_context)
+        assert len(output.data) == 8
+
+    def test_t11(self, small_context):
+        output = table11_unexpected_protocols.run(small_context)
+        assert {row.port for row in output.data} == {80, 8080}
+
+    def test_f1(self, small_context):
+        output = figure01_address_structure.run(small_context)
+        assert set(output.data) == {22, 445, 80, 17128}
+        assert "rolling avg" in output.text
+
+    def test_m1(self, small_context):
+        output = method_maliciousness.run(small_context)
+        numbers = output.data
+        assert 0 <= numbers.ssh_non_auth_pct <= 100
+
+
+class TestTemporalDrivers:
+    def test_t12_runs_on_2020(self, small_context_2020):
+        output = run_table12(small_context_2020)
+        assert output.experiment_id == "T12"
+        assert "2020" in output.title
+
+    def test_t13(self, small_context_2020):
+        assert run_table13(small_context_2020).experiment_id == "T13"
+
+    def test_t14(self, small_context_2022):
+        assert run_table14(small_context_2022).experiment_id == "T14"
+
+    def test_t15_stronger_avoidance_in_2022(self, small_context, small_context_2022):
+        from repro.experiments import table10_telescope_as
+
+        cells_2021 = {
+            (c.comparison, c.slice_name): c
+            for c in table10_telescope_as.run(small_context).data
+        }
+        cells_2022 = {
+            (c.comparison, c.slice_name): c
+            for c in run_table15(small_context_2022).data
+        }
+        key = ("telescope-cloud", "ssh22")
+        assert cells_2022[key].avg_phi > 0
+        assert cells_2021[key].avg_phi > 0
+
+    def test_t16(self, small_context_2020):
+        assert run_table16(small_context_2020).experiment_id == "T16"
+
+    def test_t17_more_unexpected_than_2021(self, small_context, small_context_2022):
+        rows_2021 = {row.port: row for row in
+                     table11_unexpected_protocols.run(small_context).data}
+        rows_2022 = {row.port: row for row in run_table17(small_context_2022).data}
+        for port in (80, 8080):
+            assert rows_2022[port].unexpected_pct > rows_2021[port].unexpected_pct
+
+    def test_2020_has_more_ssh_neighborhood_variation(
+        self, small_context, small_context_2020
+    ):
+        """Appendix C.1: 2020's anomalous SSH events raise neighborhood
+        differences (73% vs 44% in the paper)."""
+        report_2021 = table02_neighborhoods.run(small_context).data
+        report_2020 = run_table12(small_context_2020).data
+        assert (
+            report_2020.cell("ssh22", "as").percent_different
+            >= report_2021.cell("ssh22", "as").percent_different - 10.0
+        )
+
+
+class TestRendering:
+    def test_all_outputs_render(self, small_context):
+        for runner in (
+            table01_vantage_points.run, table06_colocated.run,
+            table08_telescope_overlap.run, table09_attacker_overlap.run,
+            method_maliciousness.run,
+        ):
+            output = runner(small_context)
+            rendered = output.render()
+            assert output.experiment_id in rendered
+            assert len(rendered.splitlines()) > 3
+
+
+class TestExtensionDrivers:
+    def test_x1_blocklists(self, small_context):
+        from repro.experiments import ext_blocklists
+
+        output = ext_blocklists.run(small_context)
+        assert output.experiment_id == "X1"
+        assert len(output.data) == 9
+
+    def test_x2_campaigns(self, small_context):
+        from repro.experiments import ext_campaigns
+
+        output = ext_campaigns.run(small_context)
+        assert output.experiment_id == "X2"
+        assert output.data, "campaigns must be inferred"
+
+    def test_x4_operator_report(self, small_context):
+        from repro.experiments import ext_recommendations
+
+        output = ext_recommendations.run(small_context)
+        assert output.experiment_id == "X4"
+        recommendations = output.data["recommendations"]
+        assert len(recommendations) == 5
+        # Recommendation 1: telescope misses the vast majority of SSH attackers.
+        assert recommendations[0].value > 60.0
+        assert output.data["tags"], "actor tags must be assigned"

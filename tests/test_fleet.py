@@ -1,0 +1,161 @@
+"""Tests for the Table 1 deployment geometry."""
+
+import numpy as np
+import pytest
+
+from repro.deployment.fleet import (
+    GREYNOISE_REGIONS,
+    build_full_deployment,
+    build_greynoise_fleet,
+    build_honeytrap_fleet,
+    build_leak_experiment,
+    build_telescope,
+)
+from repro.honeypots.cowrie import COWRIE_PORTS
+from repro.net.addresses import vector_has_255_octet, vector_is_first_of_slash16
+from repro.sim.events import NetworkKind
+from repro.sim.rng import RngHub
+
+HUB = RngHub(99)
+
+
+class TestGreyNoiseFleet:
+    def test_region_counts_match_table1(self):
+        assert len(GREYNOISE_REGIONS["aws"]) == 16
+        assert len(GREYNOISE_REGIONS["azure"]) == 3
+        assert len(GREYNOISE_REGIONS["google"]) == 21
+        assert len(GREYNOISE_REGIONS["linode"]) == 7
+
+    def test_four_honeypots_per_region(self):
+        fleet = build_greynoise_fleet(HUB)
+        aws_sg = [v for v in fleet if v.network == "aws" and v.region_code == "AP-SG"]
+        assert len(aws_sg) == 4
+
+    def test_cowrie_everywhere_http_on_two(self):
+        """All 4 region honeypots expose SSH/Telnet; only 2 expose HTTP."""
+        fleet = build_greynoise_fleet(HUB)
+        aws_sg = [v for v in fleet if v.network == "aws" and v.region_code == "AP-SG"]
+        assert sum(1 for v in aws_sg if v.stack.observes(22)) == 4
+        assert sum(1 for v in aws_sg if v.stack.observes(80)) == 2
+
+    def test_hurricane_is_a_full_slash24(self):
+        fleet = build_greynoise_fleet(HUB)
+        hurricane = [v for v in fleet if v.network == "hurricane"]
+        assert len(hurricane) == 256
+        ips = sorted(int(v.ips[0]) for v in hurricane)
+        assert ips == list(range(ips[0], ips[0] + 256))
+
+    def test_total_cloud_vantage_count(self):
+        """~440 cloud vantage points, as in the paper."""
+        fleet = build_greynoise_fleet(HUB)
+        assert 420 <= len(fleet) <= 460
+
+    def test_all_cloud_kind(self):
+        assert all(v.kind is NetworkKind.CLOUD for v in build_greynoise_fleet(HUB))
+
+
+class TestHoneytrapFleet:
+    def test_site_sizes(self):
+        fleet = build_honeytrap_fleet(HUB)
+        by_site = {}
+        for v in fleet:
+            by_site.setdefault(v.vantage_id.rsplit("-", 1)[0], []).append(v)
+        assert len(by_site["ht-stanford"]) == 64
+        assert len(by_site["ht-merit"]) == 64
+        assert len(by_site["ht-aws-west"]) == 64
+        assert len(by_site["ht-google-west"]) == 64
+        assert len(by_site["ht-google-east"]) == 2
+
+    def test_edu_and_cloud_kinds(self):
+        fleet = build_honeytrap_fleet(HUB)
+        kinds = {v.network: v.kind for v in fleet}
+        assert kinds["stanford"] is NetworkKind.EDU
+        assert kinds["merit"] is NetworkKind.EDU
+        assert kinds["aws"] is NetworkKind.CLOUD
+
+
+class TestTelescope:
+    def test_default_size(self):
+        telescope = build_telescope()
+        assert telescope.num_ips == 16 * 256
+        assert telescope.kind is NetworkKind.TELESCOPE
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            build_telescope(0)
+        with pytest.raises(ValueError):
+            build_telescope(2000)
+
+    def test_structural_variety_preserved(self):
+        """Even a scaled telescope contains first-of-/16 and any-255 IPs."""
+        telescope = build_telescope(16)
+        assert vector_is_first_of_slash16(telescope.ips).any()
+        assert vector_has_255_octet(telescope.ips).any()
+
+    def test_large_telescope(self):
+        telescope = build_telescope(128)
+        assert telescope.num_ips == 128 * 256
+        assert len(np.unique(telescope.ips)) == telescope.num_ips
+
+    def test_address_adjacent_to_merit(self):
+        """Telescope lives in 198.x space near Merit (same-AS hypothesis)."""
+        telescope = build_telescope(8)
+        assert all((int(ip) >> 24) == 198 for ip in telescope.ips[:10])
+
+
+class TestLeakExperiment:
+    def test_group_layout(self):
+        _vantages, experiment = build_leak_experiment(HUB)
+        assert len(experiment.control_ips) == 8
+        assert len(experiment.previously_leaked_ips) == 7
+        assert len(experiment.leak_groups) == 6
+        assert all(len(group.ips) == 3 for group in experiment.leak_groups)
+        assert len(experiment.all_ips) == 33
+
+    def test_groups_cover_engines_and_services(self):
+        _vantages, experiment = build_leak_experiment(HUB)
+        combos = {(g.engine, g.protocol, g.port) for g in experiment.leak_groups}
+        assert combos == {
+            ("censys", "ssh", 22), ("censys", "telnet", 23), ("censys", "http", 80),
+            ("shodan", "ssh", 22), ("shodan", "telnet", 23), ("shodan", "http", 80),
+        }
+
+    def test_group_for_lookup(self):
+        _vantages, experiment = build_leak_experiment(HUB)
+        group = experiment.leak_groups[0]
+        assert experiment.group_for(group.ips[0]) is group
+        assert experiment.group_for(experiment.control_ips[0]) is None
+
+    def test_vantages_interactive(self):
+        vantages, _experiment = build_leak_experiment(HUB)
+        assert len(vantages) == 33
+        assert all(v.network == "stanford" for v in vantages)
+
+
+class TestFullDeployment:
+    def test_no_ip_collisions_anywhere(self):
+        deployment = build_full_deployment(HUB, num_telescope_slash24s=8)
+        all_ips = np.concatenate(
+            [v.ips for v in deployment.honeypots] + [deployment.telescope.ips]
+        )
+        assert len(np.unique(all_ips)) == len(all_ips)
+
+    def test_deterministic_per_seed(self):
+        first = build_full_deployment(RngHub(5), num_telescope_slash24s=4)
+        second = build_full_deployment(RngHub(5), num_telescope_slash24s=4)
+        for a, b in zip(first.honeypots, second.honeypots):
+            assert a.vantage_id == b.vantage_id
+            assert (a.ips == b.ips).all()
+
+    def test_helpers(self):
+        deployment = build_full_deployment(HUB, num_telescope_slash24s=4)
+        assert "aws" in deployment.networks()
+        aws_sg = deployment.honeypots_in("aws", "AP-SG")
+        assert len(aws_sg) == 4
+        assert len(deployment.all_vantages) == len(deployment.honeypots) + 1
+
+    def test_optional_leak_experiment(self):
+        deployment = build_full_deployment(
+            HUB, num_telescope_slash24s=4, include_leak_experiment=False
+        )
+        assert deployment.leak_experiment is None

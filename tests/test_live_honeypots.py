@@ -1,0 +1,206 @@
+"""Integration tests for the live asyncio honeypots and the replayer."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.detection.fingerprint import fingerprint
+from repro.honeypots.live import (
+    FirstPayloadService,
+    HttpService,
+    LiveHoneypot,
+    ReplayClient,
+    SshBannerService,
+    TelnetService,
+    replay_intents,
+)
+from repro.scanners.base import PortPlan
+from repro.scanners.payloads import http_payload, protocol_first_payload
+from repro.sim.events import Credential, ScanIntent
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestHttpService:
+    def test_request_captured_and_answered(self):
+        async def scenario():
+            async with LiveHoneypot(services={0: HttpService()}) as pot:
+                client = ReplayClient()
+                request = http_payload("root-get").render("127.0.0.1")
+                reply = await client.send_payload(pot.bound_ports[0], request)
+                return pot.events, reply
+
+        events, reply = run(scenario())
+        assert reply.startswith(b"HTTP/1.1 200 OK")
+        assert len(events) == 1
+        assert fingerprint(events[0].payload) == "http"
+        assert events[0].handshake
+
+    def test_exploit_payload_captured_verbatim(self):
+        async def scenario():
+            async with LiveHoneypot(services={0: HttpService()}) as pot:
+                payload = http_payload("log4shell").render("127.0.0.1")
+                await ReplayClient().send_payload(pot.bound_ports[0], payload)
+                return pot.events, payload
+
+        events, payload = run(scenario())
+        assert events[0].payload == payload
+
+
+class TestTelnetService:
+    def test_credentials_recorded(self):
+        async def scenario():
+            async with LiveHoneypot(services={0: TelnetService()}) as pot:
+                await ReplayClient().login_session(
+                    pot.bound_ports[0],
+                    [Credential("root", "xc3511"), Credential("admin", "admin")],
+                )
+                return pot.events
+
+        events = run(scenario())
+        assert events[0].credentials == (("root", "xc3511"), ("admin", "admin"))
+
+    def test_connection_without_login_recorded(self):
+        async def scenario():
+            async with LiveHoneypot(services={0: TelnetService()}) as pot:
+                reader, writer = await asyncio.open_connection("127.0.0.1", pot.bound_ports[0])
+                await reader.read(64)
+                writer.close()
+                await writer.wait_closed()
+                await pot.stop()
+                return pot.events
+
+        events = run(scenario())
+        assert len(events) == 1
+        assert events[0].credentials == ()
+
+
+class TestSshBanner:
+    def test_banner_exchange(self):
+        async def scenario():
+            async with LiveHoneypot(services={0: SshBannerService()}) as pot:
+                reply = await ReplayClient().send_payload(
+                    pot.bound_ports[0], protocol_first_payload("ssh")
+                )
+                return pot.events, reply
+
+        events, reply = run(scenario())
+        assert reply.startswith(b"SSH-2.0-OpenSSH")
+        assert fingerprint(events[0].payload) == "ssh"
+
+
+class TestFirstPayloadService:
+    def test_unexpected_protocol_on_http_port(self):
+        """The Section 6 scenario: a TLS ClientHello aimed at port 80."""
+
+        async def scenario():
+            async with LiveHoneypot(services={0: FirstPayloadService()}) as pot:
+                await ReplayClient().send_payload(
+                    pot.bound_ports[0], protocol_first_payload("tls")
+                )
+                return pot.events
+
+        events = run(scenario())
+        assert fingerprint(events[0].payload) == "tls"
+
+    def test_silent_connection(self):
+        async def scenario():
+            pot = LiveHoneypot(services={0: FirstPayloadService()})
+            pot.services[0].read_timeout = 0.2
+            async with pot:
+                reader, writer = await asyncio.open_connection("127.0.0.1", pot.bound_ports[0])
+                await asyncio.sleep(0.3)
+                writer.close()
+                await writer.wait_closed()
+                await pot.stop()
+                return pot.events
+
+        events = run(scenario())
+        assert len(events) == 1
+        assert events[0].payload == b""
+
+
+class TestReplayIntents:
+    def test_replay_many(self):
+        async def scenario():
+            # keys 0/-1 request ephemeral ports; port_map translates below
+            pot = LiveHoneypot(services={0: HttpService(), -1: TelnetService()})
+            async with pot:
+                port_map = {80: pot.bound_ports[0], 23: pot.bound_ports[-1]}
+                rng = np.random.default_rng(0)
+                http_plan = PortPlan(80, "http", 1.0,
+                                     http_payloads=("root-get",), http_weights=(1.0,))
+                telnet_plan = PortPlan(23, "telnet", 1.0,
+                                       credential_dialect="mirai",
+                                       credential_attempts=(2, 2))
+                intents = [
+                    http_plan.build_intent(rng, 0.1, 100 + i, 200) for i in range(4)
+                ] + [
+                    telnet_plan.build_intent(rng, 0.2, 300 + i, 200) for i in range(2)
+                ]
+                count = await replay_intents(intents, port_map)
+                await pot.stop()
+                return count, pot.events
+
+        count, events = run(scenario())
+        assert count == 6
+        assert len(events) == 6
+        telnet_events = [event for event in events if event.credentials]
+        assert len(telnet_events) == 2
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self):
+        async def scenario():
+            pot = LiveHoneypot(services={0: HttpService()})
+            await pot.start()
+            with pytest.raises(RuntimeError):
+                await pot.start()
+            await pot.stop()
+
+        run(scenario())
+
+    def test_multiple_services_distinct_ports(self):
+        async def scenario():
+            pot = LiveHoneypot(services={0: HttpService(), -1: TelnetService()})
+            async with pot:
+                return dict(pot.bound_ports)
+
+        ports = run(scenario())
+        assert len(set(ports.values())) == 2
+
+
+class TestLiveAnalysisIntegration:
+    def test_live_capture_feeds_analysis_pipeline(self):
+        """Live-captured events run through the same AnalysisDataset the
+        simulator feeds — fingerprints, maliciousness, counters."""
+        from repro.analysis.dataset import AnalysisDataset
+        from repro.honeypots.live import live_vantage
+        from repro.sim.clock import WEEK_2021
+
+        async def scenario():
+            pot = LiveHoneypot(services={0: HttpService(), -1: TelnetService()})
+            async with pot:
+                client = ReplayClient()
+                await client.send_payload(
+                    pot.bound_ports[0], http_payload("log4shell").render("127.0.0.1")
+                )
+                await client.send_payload(
+                    pot.bound_ports[0], http_payload("root-get").render("127.0.0.1")
+                )
+                await client.login_session(
+                    pot.bound_ports[-1], [Credential("root", "xc3511")]
+                )
+                await pot.stop()
+            return pot
+
+        pot = run(scenario())
+        dataset = AnalysisDataset(pot.events, [live_vantage(pot)], WEEK_2021)
+        malicious, total = dataset.malicious_fraction(dataset.events)
+        assert total == 3
+        assert malicious == 2  # exploit + login attempt; benign GET passes
+        protocols = {dataset.fingerprint_of(event) for event in dataset.events}
+        assert "http" in protocols

@@ -1,0 +1,175 @@
+"""Tests for the packet model, TCP state machine, and flow assembly."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.packets import (
+    Packet,
+    TcpConnection,
+    TcpFlags,
+    TcpServerState,
+    Transport,
+    client_handshake_packets,
+    syn_packet,
+)
+from repro.net.flows import FlowAssembler, assemble_flows
+
+
+def _client_packets(payload=b"hello", src=0x0A000001, dst=0x0A000002, port=80, ts=1.0):
+    return list(client_handshake_packets(ts, src, dst, port, payload=payload))
+
+
+class TestPacket:
+    def test_syn_detection(self):
+        packet = syn_packet(0.0, 1, 2, 80)
+        assert packet.is_syn
+        ack = Packet(0.0, 1, 2, 40000, 80, flags=TcpFlags.SYN | TcpFlags.ACK)
+        assert not ack.is_syn
+
+    def test_invalid_ports(self):
+        with pytest.raises(ValueError):
+            Packet(0.0, 1, 2, 70000, 80)
+        with pytest.raises(ValueError):
+            Packet(0.0, 1, 2, 80, -1)
+
+    def test_flow_key_groups_by_five_tuple(self):
+        first = syn_packet(0.0, 1, 2, 80, src_port=1234)
+        second = Packet(0.1, 1, 2, 1234, 80, flags=TcpFlags.ACK)
+        assert first.flow_key == second.flow_key
+
+
+class TestTcpConnection:
+    def test_full_handshake_captures_first_payload(self):
+        connection = TcpConnection(1, 40000, 2, 80)
+        for packet in _client_packets(b"GET /"):
+            connection.receive(packet)
+        assert connection.handshake_completed
+        assert connection.first_payload == b"GET /"
+
+    def test_telescope_never_completes(self):
+        connection = TcpConnection(1, 40000, 2, 80, responds=False)
+        for packet in _client_packets(b"GET /"):
+            connection.receive(packet)
+        assert connection.state is TcpServerState.SYN_RECEIVED
+        assert not connection.handshake_completed
+        assert connection.first_payload == b""
+
+    def test_data_before_syn_is_dropped(self):
+        connection = TcpConnection(1, 40000, 2, 80)
+        connection.receive(Packet(0.0, 1, 2, 40000, 80, flags=TcpFlags.PSH, payload=b"x"))
+        assert connection.state is TcpServerState.LISTEN
+        assert connection.first_payload == b""
+
+    def test_rst_closes(self):
+        connection = TcpConnection(1, 40000, 2, 80)
+        connection.receive(syn_packet(0.0, 1, 2, 80))
+        connection.receive(Packet(0.1, 1, 2, 40000, 80, flags=TcpFlags.RST))
+        assert connection.state is TcpServerState.CLOSED
+
+    def test_first_payload_is_first(self):
+        connection = TcpConnection(1, 40000, 2, 80)
+        for packet in _client_packets(b"first"):
+            connection.receive(packet)
+        connection.receive(
+            Packet(2.0, 1, 2, 40000, 80, flags=TcpFlags.PSH | TcpFlags.ACK, payload=b"second")
+        )
+        assert connection.first_payload == b"first"
+        assert connection.payload_packets == 2
+
+    def test_fin_closes_after_payload(self):
+        connection = TcpConnection(1, 40000, 2, 80)
+        for packet in _client_packets(b"data"):
+            connection.receive(packet)
+        connection.receive(Packet(3.0, 1, 2, 40000, 80, flags=TcpFlags.FIN | TcpFlags.ACK))
+        assert connection.state is TcpServerState.CLOSED
+        assert connection.handshake_completed
+
+    def test_rejects_udp(self):
+        connection = TcpConnection(1, 40000, 2, 80)
+        with pytest.raises(ValueError):
+            connection.receive(Packet(0.0, 1, 2, 40000, 80, transport=Transport.UDP))
+
+    def test_opened_at_records_syn_time(self):
+        connection = TcpConnection(1, 40000, 2, 80)
+        connection.receive(syn_packet(42.5, 1, 2, 80))
+        assert connection.opened_at == 42.5
+
+
+class TestClientHandshakePackets:
+    def test_sequence_shape(self):
+        packets = _client_packets(b"payload")
+        assert len(packets) == 3
+        assert packets[0].is_syn
+        assert packets[1].flags == TcpFlags.ACK
+        assert packets[2].payload == b"payload"
+
+    def test_no_payload_two_packets(self):
+        packets = _client_packets(b"")
+        assert len(packets) == 2
+
+    def test_timestamps_monotonic(self):
+        packets = _client_packets(b"x", ts=5.0)
+        times = [packet.timestamp for packet in packets]
+        assert times == sorted(times)
+        assert times[0] == 5.0
+
+
+class TestFlowAssembler:
+    def test_single_tcp_flow(self):
+        flows = assemble_flows(_client_packets(b"GET /"))
+        assert len(flows) == 1
+        flow = flows[0]
+        assert flow.handshake_completed
+        assert flow.first_payload == b"GET /"
+        assert flow.packet_count == 3
+        assert flow.has_payload
+
+    def test_telescope_flows_have_no_payload(self):
+        flows = assemble_flows(_client_packets(b"GET /"), server_responds=False)
+        assert len(flows) == 1
+        assert not flows[0].handshake_completed
+        assert flows[0].first_payload == b""
+
+    def test_udp_first_datagram_is_payload(self):
+        packet = Packet(0.0, 1, 2, 5000, 53, transport=Transport.UDP, payload=b"query")
+        flows = assemble_flows([packet])
+        assert flows[0].transport is Transport.UDP
+        assert flows[0].first_payload == b"query"
+
+    def test_udp_telescope_drops_payload(self):
+        packet = Packet(0.0, 1, 2, 5000, 53, transport=Transport.UDP, payload=b"query")
+        flows = assemble_flows([packet], server_responds=False)
+        assert flows[0].first_payload == b""
+
+    def test_multiple_flows_ordered_by_arrival(self):
+        packets = _client_packets(b"a", src=1) + _client_packets(b"b", src=2)
+        flows = assemble_flows(packets)
+        assert [flow.src_ip for flow in flows] == [1, 2]
+
+    def test_interleaved_flows_separate(self):
+        first = _client_packets(b"a", src=1)
+        second = _client_packets(b"b", src=2)
+        interleaved = [first[0], second[0], first[1], second[1], first[2], second[2]]
+        flows = assemble_flows(interleaved)
+        payloads = {flow.src_ip: flow.first_payload for flow in flows}
+        assert payloads == {1: b"a", 2: b"b"}
+
+    def test_incremental_feed_matches_batch(self):
+        packets = _client_packets(b"x") + _client_packets(b"y", src=9)
+        assembler = FlowAssembler()
+        for packet in packets:
+            assembler.feed(packet)
+        incremental = list(assembler.finish())
+        batch = assemble_flows(packets)
+        assert [(f.src_ip, f.first_payload) for f in incremental] == [
+            (f.src_ip, f.first_payload) for f in batch
+        ]
+
+    @given(st.lists(st.integers(min_value=1, max_value=20), min_size=1, max_size=20, unique=True))
+    def test_one_flow_per_distinct_source(self, sources):
+        packets = []
+        for src in sources:
+            packets.extend(_client_packets(payload=b"p", src=src))
+        flows = assemble_flows(packets)
+        assert len(flows) == len(sources)
+        assert all(flow.handshake_completed for flow in flows)

@@ -1,0 +1,232 @@
+"""Integration tests: the paper's findings are *rediscovered* from capture.
+
+Every assertion here runs the real analysis pipeline on the shared small
+simulation and checks the direction (and rough magnitude) of a paper
+finding.  None of these tests read simulator ground truth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.leak import leak_report, unique_credentials_per_group
+from repro.analysis.neighborhoods import neighborhood_report
+from repro.analysis.networks import network_type_report, telescope_as_report
+from repro.analysis.overlap import attacker_overlap, scanner_overlap
+from repro.analysis.ports import methodology_numbers, protocol_breakdown
+from repro.analysis.structure import structure_profile
+from repro.analysis.summary import vantage_summary
+
+
+@pytest.fixture(scope="module")
+def overlap_rows(dataset):
+    return {row.port: row for row in scanner_overlap(dataset)}
+
+
+class TestTelescopeAvoidance:
+    """Section 5.2, Tables 8-10."""
+
+    def test_ssh_scanners_avoid_telescope(self, overlap_rows):
+        assert overlap_rows[22].telescope_cloud_pct < 35.0
+        assert overlap_rows[2222].telescope_cloud_pct < 25.0
+
+    def test_telnet_botnets_do_not_avoid(self, overlap_rows):
+        assert overlap_rows[23].telescope_cloud_pct > 80.0
+
+    def test_ssh_versus_telnet_gap(self, overlap_rows):
+        assert (
+            overlap_rows[23].telescope_cloud_pct
+            > overlap_rows[22].telescope_cloud_pct + 30.0
+        )
+
+    def test_edu_overlap_exceeds_cloud_overlap(self, overlap_rows):
+        """Merit/Orion same-AS adjacency effect."""
+        for port in (22, 2222, 21, 25):
+            assert (
+                overlap_rows[port].telescope_edu_pct
+                > overlap_rows[port].telescope_cloud_pct + 15.0
+            ), f"port {port}"
+
+    def test_cloud_and_edu_see_same_scanners(self, overlap_rows):
+        for port in (23, 80, 8080):
+            assert overlap_rows[port].cloud_edu_pct > 75.0, f"port {port}"
+        # Port 22's overlap is depressed by the Tsunami botnet, whose
+        # members hammer one Hurricane Electric IP and nothing else.
+        assert overlap_rows[22].cloud_edu_pct > 55.0
+
+    def test_ssh_attackers_almost_never_in_telescope(self, dataset):
+        rows = {row.port: row for row in attacker_overlap(dataset)}
+        assert rows[22].telescope_cloud_pct < 15.0
+        assert rows[2222].telescope_cloud_pct < 15.0
+        assert rows[23].telescope_cloud_pct > 80.0
+        assert rows[80].telescope_cloud_pct > 70.0
+
+    def test_different_ases_target_telescope(self, dataset):
+        cells = {
+            (cell.comparison, cell.slice_name): cell
+            for cell in telescope_as_report(dataset)
+        }
+        ssh_cloud = cells[("telescope-cloud", "ssh22")]
+        assert ssh_cloud.num_different == ssh_cloud.num_sites
+        assert ssh_cloud.avg_phi > 0.3
+
+
+class TestNeighborhoods:
+    """Section 4.1, Table 2."""
+
+    @pytest.fixture(scope="class")
+    def report(self, dataset):
+        return neighborhood_report(dataset)
+
+    def test_many_neighborhoods_differ_in_ases(self, report):
+        cell = report.cell("ssh22", "as")
+        assert cell.percent_different > 25.0
+        assert cell.avg_phi > 0.1
+
+    def test_telnet_neighborhoods_differ(self, report):
+        assert report.cell("telnet23", "as").percent_different > 20.0
+
+    def test_http_payload_neighborhood_differences_exist(self, report):
+        """Paper: payload distributions differ across neighborhoods for
+        both HTTP/80 (15%) and HTTP/All-Ports (77%).  At simulation scale
+        the two slices track each other closely (see EXPERIMENTS.md), so
+        we assert presence and comparable magnitude rather than ordering.
+        """
+        all_ports = report.cell("http_all", "payload")
+        port80 = report.cell("http80", "payload")
+        assert all_ports.percent_different > 5.0
+        assert port80.percent_different > 5.0
+        assert all_ports.percent_different >= port80.percent_different - 15.0
+
+    def test_fraction_malicious_effects_small(self, report):
+        """Significant fraction-malicious differences have small phi
+        relative to AS differences (paper: 0.12 vs 0.31-0.43)."""
+        as_phi = report.cell("ssh22", "as").avg_phi
+        frac_cell = report.cell("ssh22", "fraction_malicious")
+        if frac_cell.num_different:
+            assert frac_cell.avg_phi < as_phi
+
+
+class TestSearchEngineLeaks:
+    """Section 4.3, Table 3."""
+
+    @pytest.fixture(scope="class")
+    def rows(self, dataset):
+        report = leak_report(dataset)
+        return {(row.service, row.group, row.traffic): row for row in report}
+
+    def test_leaked_http_attracts_more_traffic(self, rows):
+        assert rows[("HTTP/80", "censys", "all")].fold > 1.5
+        assert rows[("HTTP/80", "shodan", "all")].fold > 2.0
+
+    def test_previously_leaked_still_targeted(self, rows):
+        assert rows[("HTTP/80", "previously", "all")].fold > 1.5
+        assert rows[("HTTP/80", "previously", "malicious")].fold > 3.0
+
+    def test_ssh_attackers_prefer_shodan(self, rows):
+        shodan = rows[("SSH/22", "shodan", "malicious")].fold
+        censys = rows[("SSH/22", "censys", "malicious")].fold
+        assert shodan > censys
+
+    def test_http_attackers_large_shodan_increase(self, rows):
+        assert rows[("HTTP/80", "shodan", "all")].fold > rows[("HTTP/80", "censys", "all")].fold
+
+    def test_spikes_on_leaked_services(self, rows):
+        row = rows[("HTTP/80", "shodan", "all")]
+        assert row.leaked_spikes >= row.control_spikes
+        assert row.distribution_differs
+
+    def test_more_unique_passwords_on_leaked(self, dataset):
+        averages = unique_credentials_per_group(dataset, port=22)
+        assert averages["shodan"] > 1.5 * averages["control"]
+        assert averages["censys"] > 1.5 * averages["control"]
+
+
+class TestUnexpectedProtocols:
+    """Section 6, Table 11."""
+
+    @pytest.fixture(scope="class")
+    def rows(self, dataset):
+        return {row.port: row for row in protocol_breakdown(dataset)}
+
+    def test_substantial_non_http_share(self, rows):
+        for port in (80, 8080):
+            assert 8.0 < rows[port].unexpected_pct < 35.0
+
+    def test_tls_dominates_unexpected(self, rows):
+        mix = rows[80].unexpected_protocols
+        assert mix.get("tls", 0) == max(mix.values())
+
+    def test_at_least_half_of_unexpected_malicious(self, rows):
+        assert rows[80].unexpected_malicious_pct >= 45.0
+
+    def test_multiple_unexpected_protocols_observed(self, rows):
+        assert len(rows[80].unexpected_protocols) >= 4
+
+
+class TestMethodologyNumbers:
+    """Section 3.2."""
+
+    @pytest.fixture(scope="class")
+    def numbers(self, dataset):
+        return methodology_numbers(dataset)
+
+    def test_substantial_non_auth_fractions(self, numbers):
+        assert 15.0 < numbers.telnet_non_auth_pct < 60.0
+        assert 10.0 < numbers.ssh_non_auth_pct < 50.0
+
+    def test_most_http_is_not_exploit(self, numbers):
+        assert numbers.http80_non_exploit_pct > 55.0
+
+    def test_distinct_payloads_mostly_benign(self, numbers):
+        assert numbers.distinct_http_payloads_malicious_pct < 20.0
+
+
+class TestAddressStructure:
+    """Section 4.2, Figure 1."""
+
+    def test_port445_avoids_255_octets(self, small_context):
+        profile = structure_profile(small_context.result.telescope, 445)
+        assert profile.any_255_ratio is not None
+        assert profile.avoidance_factor_any_255() > 3.0
+
+    def test_port7574_avoidance_stronger_than_445(self, small_context):
+        p445 = structure_profile(small_context.result.telescope, 445)
+        p7574 = structure_profile(small_context.result.telescope, 7574)
+        assert p7574.avoidance_factor_any_255() > p445.avoidance_factor_any_255()
+
+    def test_port80_mild_255_avoidance(self, small_context):
+        profile = structure_profile(small_context.result.telescope, 80)
+        assert profile.any_255_ratio < 1.0
+
+    def test_port22_slash16_first_preference(self, small_context):
+        profile = structure_profile(small_context.result.telescope, 22)
+        assert profile.slash16_first_ratio > 1.0
+
+    def test_port17128_latching(self, small_context):
+        profile = structure_profile(small_context.result.telescope, 17128)
+        assert profile.top_target_concentration > 10.0
+
+
+class TestHurricaneLatching:
+    """Section 4.2: Tsunami hammers one IP in the HE /24."""
+
+    def test_single_target_dominance(self, dataset):
+        from collections import Counter
+
+        per_ip = Counter()
+        for vantage in dataset.vantages_in(network="hurricane"):
+            for event in dataset.events_for(vantage.vantage_id):
+                if event.dst_port == 22:
+                    per_ip[event.dst_ip] += 1
+        counts = sorted(per_ip.values(), reverse=True)
+        assert counts[0] > 10 * np.median(counts)
+
+
+class TestVantageSummary:
+    """Table 1 sanity."""
+
+    def test_every_network_sees_traffic(self, dataset):
+        rows = vantage_summary(dataset)
+        assert all(row.unique_scan_ips > 0 for row in rows)
+        telescope_row = next(row for row in rows if row.collection == "Telescope")
+        assert telescope_row.num_vantage_ips == 8 * 256

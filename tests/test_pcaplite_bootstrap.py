@@ -1,0 +1,178 @@
+"""Tests for pcap-lite serialization, bootstrap CIs, and diurnal profiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.io.pcaplite import (
+    MAGIC,
+    intents_to_packets,
+    packets_to_flows,
+    read_packets,
+    write_packets,
+)
+from repro.net.packets import Packet, TcpFlags, Transport
+from repro.scanners.base import TemporalProfile
+from repro.sim.events import ScanIntent
+from repro.stats.bootstrap import BootstrapCI, bootstrap_proportion, overlap_ci
+
+
+packets_strategy = st.builds(
+    Packet,
+    timestamp=st.floats(min_value=0, max_value=168, allow_nan=False),
+    src_ip=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    dst_ip=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    src_port=st.integers(min_value=0, max_value=65535),
+    dst_port=st.integers(min_value=0, max_value=65535),
+    transport=st.sampled_from([Transport.TCP, Transport.UDP]),
+    flags=st.sampled_from([TcpFlags.NONE, TcpFlags.SYN, TcpFlags.ACK,
+                           TcpFlags.PSH | TcpFlags.ACK, TcpFlags.RST]),
+    payload=st.binary(max_size=128),
+)
+
+
+class TestPcapLite:
+    def test_round_trip(self, tmp_path):
+        packets = [
+            Packet(1.0, 1, 2, 40000, 80, flags=TcpFlags.SYN),
+            Packet(1.1, 1, 2, 40000, 80, flags=TcpFlags.PSH | TcpFlags.ACK,
+                   payload=b"GET / HTTP/1.1\r\n\r\n"),
+            Packet(2.0, 3, 4, 5000, 53, transport=Transport.UDP, payload=b"q"),
+        ]
+        path = tmp_path / "capture.cwp"
+        assert write_packets(path, packets) == 3
+        assert list(read_packets(path)) == packets
+
+    def test_magic_checked(self, tmp_path):
+        path = tmp_path / "bad.cwp"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 32)
+        with pytest.raises(ValueError):
+            list(read_packets(path))
+
+    def test_truncation_detected(self, tmp_path):
+        path = tmp_path / "trunc.cwp"
+        write_packets(path, [Packet(1.0, 1, 2, 1, 2, payload=b"abcdef")])
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])
+        with pytest.raises(ValueError):
+            list(read_packets(path))
+
+    def test_empty_capture(self, tmp_path):
+        path = tmp_path / "empty.cwp"
+        assert write_packets(path, []) == 0
+        assert list(read_packets(path)) == []
+        assert path.read_bytes() == MAGIC
+
+    @given(st.lists(packets_strategy, max_size=20))
+    @settings(max_examples=30)
+    def test_round_trip_property(self, packets):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "p.cwp"
+            write_packets(path, packets)
+            assert list(read_packets(path)) == packets
+
+
+class TestIntentExpansion:
+    def test_tcp_intent_becomes_handshake(self):
+        intent = ScanIntent(timestamp=1.0, src_ip=1, dst_ip=2, dst_port=80,
+                            payload=b"GET / HTTP/1.1\r\n\r\n", protocol="http")
+        packets = list(intents_to_packets([intent]))
+        assert packets[0].is_syn
+        assert packets[-1].payload == intent.payload
+
+    def test_udp_intent_single_datagram(self):
+        intent = ScanIntent(timestamp=1.0, src_ip=1, dst_ip=2, dst_port=5060,
+                            transport=Transport.UDP, payload=b"x", protocol="sip")
+        packets = list(intents_to_packets([intent]))
+        assert len(packets) == 1
+        assert packets[0].transport is Transport.UDP
+
+    def test_expansion_then_assembly_recovers_payloads(self):
+        intents = [
+            ScanIntent(timestamp=float(i), src_ip=100 + i, dst_ip=2, dst_port=80,
+                       payload=f"GET /{i} HTTP/1.1\r\n\r\n".encode(), protocol="http")
+            for i in range(5)
+        ]
+        flows = packets_to_flows(intents_to_packets(intents))
+        assert len(flows) == 5
+        assert {flow.first_payload for flow in flows} == {intent.payload for intent in intents}
+
+    def test_telescope_assembly_drops_payloads(self):
+        intents = [ScanIntent(timestamp=1.0, src_ip=1, dst_ip=2, dst_port=80,
+                              payload=b"data", protocol="http")]
+        flows = packets_to_flows(intents_to_packets(intents), server_responds=False)
+        assert flows[0].first_payload == b""
+
+
+class TestBootstrap:
+    def test_point_estimate(self):
+        ci = bootstrap_proportion([True] * 30 + [False] * 70)
+        assert ci.estimate == pytest.approx(30.0)
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_interval_narrows_with_sample_size(self):
+        rng = np.random.default_rng(0)
+        small = bootstrap_proportion([True, False] * 10, rng=rng)
+        large = bootstrap_proportion([True, False] * 500, rng=np.random.default_rng(0))
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_empty(self):
+        ci = bootstrap_proportion([])
+        assert ci.estimate == 0.0 and ci.low == 0.0 and ci.high == 0.0
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_proportion([True], confidence=1.5)
+
+    def test_overlap_ci_matches_point_overlap(self):
+        numerator = set(range(30))
+        denominator = set(range(100))
+        ci = overlap_ci(numerator, denominator, rng=np.random.default_rng(1))
+        assert ci.estimate == pytest.approx(30.0)
+        assert ci.contains(30.0)
+
+    def test_str(self):
+        assert "[" in str(BootstrapCI(50.0, 40.0, 60.0, 0.95, 100))
+
+    def test_overlap_ci_on_table8(self, dataset):
+        from repro.analysis.overlap import scanner_overlap_with_ci
+
+        rows = scanner_overlap_with_ci(dataset, ports=(22, 23), resamples=200)
+        for row, cloud_ci, _edu_ci in rows:
+            assert cloud_ci.contains(row.telescope_cloud_pct)
+        (ssh_row, ssh_ci, _), (telnet_row, telnet_ci, _) = rows
+        # The SSH vs Telnet gap survives the interval uncertainty.
+        assert ssh_ci.high < telnet_ci.low
+
+
+class TestDiurnalProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TemporalProfile(mode="diurnal", diurnal_amplitude=1.5)
+
+    def test_times_within_window(self):
+        rng = np.random.default_rng(0)
+        profile = TemporalProfile(mode="diurnal")
+        times = profile.sample_times(rng, 1000, 168.0)
+        assert times.min() >= 0 and times.max() < 168
+
+    def test_peak_hours_busier(self):
+        rng = np.random.default_rng(0)
+        profile = TemporalProfile(mode="diurnal", diurnal_peak_hour=14.0,
+                                  diurnal_amplitude=0.9)
+        times = profile.sample_times(rng, 20000, 168.0)
+        hour_of_day = times % 24
+        peak = np.count_nonzero((hour_of_day >= 12) & (hour_of_day < 16))
+        trough = np.count_nonzero((hour_of_day >= 0) & (hour_of_day < 4))
+        assert peak > 2 * trough
+
+    def test_zero_amplitude_is_uniformish(self):
+        rng = np.random.default_rng(0)
+        profile = TemporalProfile(mode="diurnal", diurnal_amplitude=0.0)
+        times = profile.sample_times(rng, 20000, 168.0)
+        hour_of_day = times % 24
+        counts, _ = np.histogram(hour_of_day, bins=24, range=(0, 24))
+        assert counts.max() < 1.3 * counts.min()

@@ -1,0 +1,142 @@
+"""Guard rails for the population calibration (ground-truth checks).
+
+These tests read the population *definitions* (allowed: they are the
+simulator's configuration, not captured data) and pin the structural
+invariants the analyses depend on.  If a future calibration edit breaks
+one, the failure names the drifted knob directly instead of surfacing as
+a mysterious table regression.
+"""
+
+import pytest
+
+from repro.net.packets import Transport
+from repro.scanners.credentials import DIALECTS
+from repro.scanners.population import (
+    CHINA_ASES,
+    LOADER_SHELL,
+    MIRAI_SHELL,
+    PopulationConfig,
+    build_population,
+)
+from repro.sim.events import NetworkKind
+
+
+@pytest.fixture(scope="module")
+def population():
+    return build_population(PopulationConfig(year=2021, scale=1.0))
+
+
+class TestStructuralInvariants:
+    def test_rates_positive_and_bounded(self, population):
+        for spec in population:
+            for plan in spec.plans:
+                assert 0 < plan.rate < 100, f"{spec.scanner_id} rate {plan.rate}"
+
+    def test_credential_dialects_exist(self, population):
+        for spec in population:
+            for plan in spec.plans:
+                if plan.credential_dialect:
+                    assert plan.credential_dialect in DIALECTS
+                for dialect in plan.region_dialects.values():
+                    assert dialect in DIALECTS
+
+    def test_http_payload_names_resolve(self, population):
+        from repro.scanners.payloads import http_payload
+
+        for spec in population:
+            for plan in spec.plans:
+                for name in plan.http_payloads:
+                    http_payload(name)  # raises on unknown names
+
+    def test_search_engine_users_have_matching_port_plans(self, population):
+        for spec in population:
+            if spec.search_engine is not None and spec.search_engine.mode == "target":
+                assert spec.plans, spec.scanner_id
+
+    def test_interactive_plans_use_interactive_protocols(self, population):
+        for spec in population:
+            for plan in spec.plans:
+                if plan.credential_dialect:
+                    assert plan.protocol in ("ssh", "telnet"), spec.scanner_id
+
+    def test_shell_commands_only_on_interactive_plans(self, population):
+        for spec in population:
+            for plan in spec.plans:
+                if plan.shell_commands:
+                    assert plan.interactive, spec.scanner_id
+
+
+class TestBehavioralKnobs:
+    def test_tsunami_exclusively_hurricane(self, population):
+        tsunami = [s for s in population if s.family == "tsunami"]
+        assert len(tsunami) == 1
+        assert tsunami[0].strategy.exclusive_networks == ("hurricane",)
+        assert tsunami[0].strategy.latch_exclusive
+
+    def test_mirai_telnet_has_loader_shell(self, population):
+        botnets = [s for s in population if s.family == "mirai-telnet"]
+        assert botnets
+        for spec in botnets:
+            plan = spec.plans[0]
+            assert plan.shell_commands in (MIRAI_SHELL, LOADER_SHELL)
+            assert plan.credential_dialect == "mirai"
+
+    def test_emirates_targets_only_mumbai(self, population):
+        emirates = next(s for s in population if s.family == "emirates-mumbai")
+        assert emirates.asn == 5384
+        assert emirates.strategy.exclusive_regions == ("AP-IN",)
+
+    def test_satnet_avoids_mumbai(self, population):
+        satnet = next(s for s in population if s.family == "satnet-not-mumbai")
+        assert satnet.asn == 14522
+        assert satnet.strategy.region_weights.get("AP-IN") == 0.0
+
+    def test_nmap_avoiders_use_censys_avoid_mode(self, population):
+        avoiders = [s for s in population if s.family == "nmap-censys-avoider"]
+        assert {s.asn for s in avoiders} == {198605, 9009, 60068}
+        for spec in avoiders:
+            assert spec.search_engine.mode == "avoid"
+            assert spec.search_engine.engine == "censys"
+
+    def test_oracle_structure_scanner_strength(self, population):
+        oracle = [s for s in population if s.family == "oracle-structure"]
+        assert oracle
+        for spec in oracle:
+            assert spec.strategy.structure.any_255_factor == pytest.approx(1 / 61.0)
+
+    def test_evasive_family_telescope_visible(self, population):
+        evasive = [s for s in population if s.family == "evasive-ssh"]
+        assert evasive
+        for spec in evasive:
+            assert spec.honeypot_evasion >= 0.8
+            # they do NOT have telescope weight zero: that is the point
+            assert spec.strategy.kind_weights.get(NetworkKind.TELESCOPE, 1.0) > 0
+
+    def test_udp_campaigns_use_udp_transport(self, population):
+        udp_specs = [s for s in population if s.family.startswith("udp-")]
+        assert udp_specs
+        for spec in udp_specs:
+            assert all(plan.transport is Transport.UDP for plan in spec.plans)
+
+    def test_china_ases_mostly_avoid_telescope_on_ssh(self, population):
+        """Section 5.2: Chinese ASes are the strongest telescope avoiders."""
+        china_ssh = [
+            s for s in population
+            if s.asn in CHINA_ASES and s.plan_for(22) is not None
+            and s.strategy.kind_weights.get(NetworkKind.CLOUD, 1.0) >= 0.1
+        ]
+        assert china_ssh
+        avoiders = [
+            s for s in china_ssh
+            if s.strategy.kind_weights.get(NetworkKind.TELESCOPE, 1.0) == 0.0
+        ]
+        assert len(avoiders) / len(china_ssh) > 0.6
+
+    def test_previously_leaked_mechanism_via_age_boost(self):
+        """The stale-age boost is what makes previously-leaked IPs hot."""
+        from repro.scanners.base import SearchEngineUse
+
+        use = SearchEngineUse("censys")
+        two_years = use.selection_probability(-2 * 365 * 24.0, True)
+        fresh_other = use.selection_probability(5.0, False)
+        assert two_years > fresh_other

@@ -1,0 +1,111 @@
+"""Tests for the Censys/Shodan search-engine models."""
+
+import numpy as np
+import pytest
+
+from repro.honeypots.base import VantagePoint
+from repro.honeypots.honeytrap import HoneytrapStack
+from repro.honeypots.greynoise import GreyNoiseStack
+from repro.honeypots.telescope import TelescopeStack
+from repro.searchengines.index import IndexEntry, SearchEngine, ServiceIndex
+from repro.sim.events import NetworkKind
+
+PROTOCOLS = {22: "ssh", 80: "http", 443: "tls"}
+
+
+def vantage(stack, ips=(9000, 9001)):
+    return VantagePoint(
+        vantage_id="v", network="stanford", kind=NetworkKind.EDU,
+        region_code="US-WEST", continent="NA",
+        ips=np.asarray(ips, dtype=np.uint32), stack=stack,
+    )
+
+
+class TestServiceIndex:
+    def test_add_and_lookup(self):
+        index = ServiceIndex("censys")
+        index.add(IndexEntry(1, 80, "http", 5.0))
+        assert (1, 80) in index
+        assert index.lookup(1, 80).protocol == "http"
+        assert index.lookup(1, 443) is None
+
+    def test_earliest_indexing_wins(self):
+        index = ServiceIndex("censys")
+        index.add(IndexEntry(1, 80, "http", 5.0))
+        index.add(IndexEntry(1, 80, "http", -100.0))
+        index.add(IndexEntry(1, 80, "http", 50.0))
+        assert index.lookup(1, 80).first_indexed == -100.0
+
+    def test_services_on_port_visibility(self):
+        index = ServiceIndex("censys")
+        index.add(IndexEntry(1, 80, "http", 5.0))
+        index.add(IndexEntry(2, 80, "http", 50.0))
+        assert len(index.services_on_port(80)) == 2
+        assert [e.ip for e in index.services_on_port(80, visible_at=10.0)] == [1]
+
+    def test_remove(self):
+        index = ServiceIndex("censys")
+        index.add(IndexEntry(1, 80, "http", 5.0))
+        index.remove(1, 80)
+        assert len(index) == 0
+        index.remove(1, 80)  # idempotent
+
+
+class TestSearchEngine:
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            SearchEngine("bing", crawler_asn=1)
+
+    def test_crawl_indexes_responding_services(self):
+        engine = SearchEngine("censys", crawler_asn=398324)
+        count = engine.crawl_vantage(vantage(HoneytrapStack()), 0.0, PROTOCOLS)
+        assert count == 2 * len(engine.crawl_ports)
+        assert (9000, 80) in engine.index
+
+    def test_crawl_skips_telescopes(self):
+        engine = SearchEngine("censys", crawler_asn=398324)
+        count = engine.crawl_vantage(vantage(TelescopeStack()), 0.0, PROTOCOLS)
+        assert count == 0
+        assert len(engine.index) == 0
+
+    def test_crawl_respects_port_exposure(self):
+        engine = SearchEngine("censys", crawler_asn=398324)
+        engine.crawl_vantage(vantage(GreyNoiseStack(frozenset({22}))), 0.0, PROTOCOLS)
+        assert (9000, 22) in engine.index
+        assert (9000, 80) not in engine.index
+
+    def test_indexing_delay_applied(self):
+        engine = SearchEngine("censys", crawler_asn=398324, indexing_delay_hours=6.0)
+        engine.crawl_vantage(vantage(HoneytrapStack()), 2.0, PROTOCOLS)
+        assert engine.index.lookup(9000, 80).first_indexed == 8.0
+
+    def test_ip_blocking(self):
+        engine = SearchEngine("censys", crawler_asn=398324)
+        engine.block([9000])
+        engine.crawl_vantage(vantage(HoneytrapStack()), 0.0, PROTOCOLS)
+        assert (9000, 80) not in engine.index
+        assert (9001, 80) in engine.index
+
+    def test_allow_reverses_block(self):
+        engine = SearchEngine("censys", crawler_asn=398324)
+        engine.block([9000])
+        engine.allow([9000])
+        engine.crawl_vantage(vantage(HoneytrapStack()), 0.0, PROTOCOLS)
+        assert (9000, 80) in engine.index
+
+    def test_service_level_blocking(self):
+        """The leak experiment blocks all but one (engine, port) pair."""
+        engine = SearchEngine("censys", crawler_asn=398324)
+        for port in engine.crawl_ports:
+            if port != 22:
+                engine.block_service(9000, port)
+        engine.crawl_vantage(vantage(HoneytrapStack()), 0.0, PROTOCOLS)
+        indexed_ports = {port for (ip, port) in
+                         ((e.ip, e.port) for e in engine.index.entries()) if ip == 9000}
+        assert indexed_ports == {22}
+
+    def test_seed_historical(self):
+        engine = SearchEngine("shodan", crawler_asn=10439)
+        engine.seed_historical(9000, 80, "http", hours_before=17520)
+        entry = engine.index.lookup(9000, 80)
+        assert entry.first_indexed == -17520

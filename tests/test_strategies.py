@@ -1,0 +1,196 @@
+"""Tests for target-selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.net.addresses import ip_to_int
+from repro.scanners.strategies import (
+    KIND_INDEX,
+    CoverageModel,
+    StructureBias,
+    TargetSet,
+    TargetStrategy,
+)
+from repro.sim.events import NetworkKind
+from repro.sim.rng import RngHub
+
+
+def make_targets(ips, kinds=None, regions=None, continents=None, networks=None):
+    n = len(ips)
+    kinds = kinds or [NetworkKind.CLOUD] * n
+    return TargetSet(
+        ips=np.asarray(ips, dtype=np.uint32),
+        kind_codes=np.asarray([KIND_INDEX[k] for k in kinds], dtype=np.int8),
+        regions=np.asarray(regions or ["US-CA"] * n, dtype=object),
+        continents=np.asarray(continents or ["NA"] * n, dtype=object),
+        networks=np.asarray(networks or ["aws"] * n, dtype=object),
+    )
+
+
+HUB = RngHub(11)
+
+
+class TestTargetSet:
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            TargetSet(
+                ips=np.zeros(3, dtype=np.uint32),
+                kind_codes=np.zeros(2, dtype=np.int8),
+                regions=np.asarray(["a"] * 3, dtype=object),
+                continents=np.asarray(["a"] * 3, dtype=object),
+                networks=np.asarray(["a"] * 3, dtype=object),
+            )
+
+    def test_len(self):
+        assert len(make_targets([1, 2, 3])) == 3
+
+
+class TestStructureBias:
+    def test_identity(self):
+        bias = StructureBias()
+        assert bias.is_identity
+        ips = np.asarray([ip_to_int("1.2.3.255")], dtype=np.uint32)
+        assert bias.weights(ips)[0] == 1.0
+
+    def test_any_255_avoidance(self):
+        bias = StructureBias(any_255_factor=1 / 9)
+        ips = np.asarray(
+            [ip_to_int("10.255.0.1"), ip_to_int("10.0.0.1")], dtype=np.uint32
+        )
+        weights = bias.weights(ips)
+        assert weights[0] == pytest.approx(1 / 9)
+        assert weights[1] == 1.0
+
+    def test_factors_compose(self):
+        bias = StructureBias(any_255_factor=0.5, trailing_255_factor=0.5)
+        ips = np.asarray([ip_to_int("10.0.0.255")], dtype=np.uint32)
+        assert bias.weights(ips)[0] == pytest.approx(0.25)
+
+    def test_slash16_preference(self):
+        bias = StructureBias(slash16_first_factor=10.0)
+        ips = np.asarray([ip_to_int("10.20.0.0"), ip_to_int("10.20.0.1")], dtype=np.uint32)
+        weights = bias.weights(ips)
+        assert weights[0] == 10.0 and weights[1] == 1.0
+
+
+class TestCoverageModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoverageModel(0.0)
+        with pytest.raises(ValueError):
+            CoverageModel(0.5, mode="swirl")
+        with pytest.raises(ValueError):
+            CoverageModel(0.5, mode="blocks", block_bits=0)
+
+    def test_full_coverage(self):
+        mask = CoverageModel(1.0).mask(HUB, "t", np.arange(10, dtype=np.uint32))
+        assert mask.all()
+
+    def test_hash_coverage_fraction(self):
+        mask = CoverageModel(0.3).mask(HUB, "t", np.arange(20000, dtype=np.uint32))
+        assert 0.25 < mask.mean() < 0.35
+
+    def test_block_coverage_is_blockwise(self):
+        """All addresses in the same /16 share one coverage decision."""
+        base = ip_to_int("10.1.0.0")
+        ips = np.arange(base, base + 2048, dtype=np.uint32)  # one /16 slice
+        mask = CoverageModel(0.5, mode="blocks", block_bits=16).mask(HUB, "t", ips)
+        assert mask.all() or not mask.any()
+
+    def test_block_coverage_varies_across_blocks(self):
+        bases = [ip_to_int(f"10.{i}.0.0") for i in range(64)]
+        ips = np.asarray(bases, dtype=np.uint32)
+        mask = CoverageModel(0.5, mode="blocks", block_bits=16).mask(HUB, "t", ips)
+        assert 0 < mask.sum() < 64
+
+
+class TestTargetStrategy:
+    def test_default_uniform(self):
+        targets = make_targets([1, 2, 3])
+        weights = TargetStrategy().weights(HUB, "s", targets)
+        assert (weights == 1.0).all()
+
+    def test_kind_weights_zero_out_telescope(self):
+        targets = make_targets([1, 2], kinds=[NetworkKind.CLOUD, NetworkKind.TELESCOPE])
+        strategy = TargetStrategy(kind_weights={NetworkKind.TELESCOPE: 0.0})
+        weights = strategy.weights(HUB, "s", targets)
+        assert weights[0] == 1.0 and weights[1] == 0.0
+
+    def test_region_weights(self):
+        targets = make_targets([1, 2], regions=["AP-SG", "US-CA"])
+        strategy = TargetStrategy(region_weights={"AP-SG": 4.0})
+        weights = strategy.weights(HUB, "s", targets)
+        assert weights[0] == 4.0 and weights[1] == 1.0
+
+    def test_continent_weights(self):
+        targets = make_targets([1, 2], continents=["AP", "NA"])
+        strategy = TargetStrategy(continent_weights={"NA": 0.1})
+        weights = strategy.weights(HUB, "s", targets)
+        assert weights[0] == 1.0 and weights[1] == pytest.approx(0.1)
+
+    def test_exclusive_regions(self):
+        targets = make_targets([1, 2, 3], regions=["AP-IN", "US-CA", "EU-DE"])
+        strategy = TargetStrategy(exclusive_regions=("AP-IN",))
+        weights = strategy.weights(HUB, "s", targets)
+        assert weights.tolist() == [1.0, 0.0, 0.0]
+
+    def test_exclusive_networks(self):
+        targets = make_targets([1, 2], networks=["hurricane", "aws"])
+        strategy = TargetStrategy(exclusive_networks=("hurricane",))
+        weights = strategy.weights(HUB, "s", targets)
+        assert weights.tolist() == [1.0, 0.0]
+
+    def test_latch_exclusive_selects_exactly_k(self):
+        targets = make_targets(list(range(100, 200)))
+        strategy = TargetStrategy(latch_count=3, latch_multiplier=50.0, latch_exclusive=True)
+        weights = strategy.weights(HUB, "s", targets)
+        assert (weights > 0).sum() == 3
+        assert set(np.unique(weights[weights > 0])) == {50.0}
+
+    def test_latch_boost_keeps_rest(self):
+        targets = make_targets(list(range(100, 150)))
+        strategy = TargetStrategy(latch_count=1, latch_multiplier=10.0)
+        weights = strategy.weights(HUB, "s", targets)
+        assert (weights == 10.0).sum() == 1
+        assert (weights == 1.0).sum() == 49
+
+    def test_latch_deterministic_per_scanner(self):
+        targets = make_targets(list(range(100, 200)))
+        strategy = TargetStrategy(latch_count=1, latch_multiplier=10.0, latch_exclusive=True)
+        first = strategy.weights(HUB, "scanner-a", targets)
+        second = strategy.weights(HUB, "scanner-a", targets)
+        assert (first == second).all()
+
+    def test_latch_differs_between_scanners(self):
+        targets = make_targets(list(range(100, 400)))
+        strategy = TargetStrategy(latch_count=1, latch_multiplier=10.0, latch_exclusive=True)
+        picks = {
+            int(np.flatnonzero(strategy.weights(HUB, f"scanner-{i}", targets))[0])
+            for i in range(12)
+        }
+        assert len(picks) > 1
+
+    def test_latch_respects_exclusions(self):
+        """A latch target is only chosen among otherwise-eligible IPs."""
+        targets = make_targets([1, 2, 3, 4], networks=["aws", "aws", "hurricane", "hurricane"])
+        strategy = TargetStrategy(
+            exclusive_networks=("hurricane",), latch_count=1,
+            latch_multiplier=5.0, latch_exclusive=True,
+        )
+        weights = strategy.weights(HUB, "s", targets)
+        assert weights[:2].sum() == 0
+        assert (weights[2:] > 0).sum() == 1
+
+    def test_weights_compose_multiplicatively(self):
+        targets = make_targets(
+            [ip_to_int("10.0.0.255")], kinds=[NetworkKind.EDU], regions=["AP-SG"],
+            continents=["AP"], networks=["stanford"],
+        )
+        strategy = TargetStrategy(
+            kind_weights={NetworkKind.EDU: 2.0},
+            region_weights={"AP-SG": 3.0},
+            continent_weights={"AP": 0.5},
+            structure=StructureBias(trailing_255_factor=0.1),
+        )
+        weights = strategy.weights(HUB, "s", targets)
+        assert weights[0] == pytest.approx(2.0 * 3.0 * 0.5 * 0.1)
