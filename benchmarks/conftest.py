@@ -1,12 +1,18 @@
-"""Shared benchmark fixtures.
+"""Shared benchmark fixtures and wall-clock recording.
 
 Benchmarks measure the *analysis* step of each experiment on a shared
 simulated dataset; the simulation build itself is benchmarked separately
 in test_bench_simulation.py.  Set CLOUDWATCHING_BENCH_SCALE to change the
 population scale (default 0.5).
+
+Every benchmark session also records per-test wall-clock times and
+appends one record to the JSON artifact (``BENCH_simulation.json``, or
+``$CLOUDWATCHING_BENCH_JSON``) so timing history accumulates across runs
+— see :mod:`repro.bench`.
 """
 
 import os
+import time
 
 import pytest
 
@@ -14,6 +20,9 @@ from repro.experiments.context import ExperimentConfig, get_context
 
 SCALE = float(os.environ.get("CLOUDWATCHING_BENCH_SCALE", "0.5"))
 TELESCOPE = int(os.environ.get("CLOUDWATCHING_BENCH_TELESCOPE", "16"))
+
+#: Per-test wall-clock seconds, recorded by the hookwrapper below.
+_TIMINGS: dict[str, float] = {}
 
 
 def _config(year: int) -> ExperimentConfig:
@@ -33,3 +42,28 @@ def context_2020():
 @pytest.fixture(scope="session")
 def context_2022():
     return get_context(_config(2022))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    started = time.perf_counter()
+    yield
+    _TIMINGS[item.nodeid] = time.perf_counter() - started
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _TIMINGS:
+        return
+    from repro.bench import append_record
+
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "kind": "pytest-bench",
+        "scale": SCALE,
+        "telescope_slash24s": TELESCOPE,
+        "exit_status": int(exitstatus),
+        "tests": {name: round(value, 4) for name, value in sorted(_TIMINGS.items())},
+        "tests_total": round(sum(_TIMINGS.values()), 4),
+    }
+    path = append_record(record)
+    print(f"\nbench timings appended to {path}")

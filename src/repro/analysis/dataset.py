@@ -13,7 +13,9 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Mapping, Optional, Sequence
+
+import numpy as np
 
 from repro.deployment.fleet import LeakExperiment
 from repro.detection.classify import MaliciousnessClassifier, ReputationOracle
@@ -21,6 +23,7 @@ from repro.detection.engine import RuleEngine
 from repro.detection.fingerprint import fingerprint
 from repro.honeypots.base import VantagePoint
 from repro.honeypots.telescope import TelescopeCapture
+from repro.io.table import EventTable
 from repro.scanners.payloads import strip_ephemeral_headers
 from repro.sim.clock import ObservationWindow
 from repro.sim.engine import SimulationResult
@@ -62,27 +65,41 @@ SLICES: dict[str, TrafficSlice] = {
 
 
 class AnalysisDataset:
-    """Queryable captured dataset (honeypots + telescope)."""
+    """Queryable captured dataset (honeypots + telescope).
+
+    Backed either by row events (``events=...``, the generic path used
+    when loading NDJSON datasets) or by per-vantage columnar
+    :class:`~repro.io.table.EventTable` objects (``tables=...``, the
+    zero-copy path out of the simulator).  With tables, row objects are
+    materialized lazily per vantage, and set/count queries run on numpy
+    columns directly.
+    """
 
     def __init__(
         self,
-        events: Iterable[CapturedEvent],
-        vantages: Sequence[VantagePoint],
-        window: ObservationWindow,
+        events: Optional[Iterable[CapturedEvent]] = None,
+        vantages: Sequence[VantagePoint] = (),
+        window: Optional[ObservationWindow] = None,
         telescope: Optional[TelescopeCapture] = None,
         leak_experiment: Optional[LeakExperiment] = None,
         rule_engine: Optional[RuleEngine] = None,
+        tables: Optional[Mapping[str, EventTable]] = None,
     ) -> None:
-        self.events: list[CapturedEvent] = list(events)
+        if events is None and tables is None:
+            raise ValueError("provide events or tables")
+        self.tables: Optional[dict[str, EventTable]] = (
+            dict(tables) if tables is not None else None
+        )
+        self._events: Optional[list[CapturedEvent]] = (
+            list(events) if events is not None else None
+        )
         self.vantages: list[VantagePoint] = list(vantages)
         self.window = window
         self.telescope = telescope
         self.leak_experiment = leak_experiment
         self.classifier = MaliciousnessClassifier(rule_engine)
 
-        self._by_vantage: dict[str, list[CapturedEvent]] = defaultdict(list)
-        for event in self.events:
-            self._by_vantage[event.vantage_id].append(event)
+        self._by_vantage_cache: Optional[dict[str, list[CapturedEvent]]] = None
         self._vantage_by_id = {vantage.vantage_id: vantage for vantage in self.vantages}
         self._fingerprint_cache: dict[bytes, Optional[str]] = {}
         self._malicious_cache: dict[tuple[bytes, int, bool], bool] = {}
@@ -95,12 +112,43 @@ class AnalysisDataset:
     @classmethod
     def from_simulation(cls, result: SimulationResult) -> "AnalysisDataset":
         return cls(
-            events=result.events(),
+            tables=result.tables(),
             vantages=result.deployment.honeypots,
             window=result.window,
             telescope=result.telescope,
             leak_experiment=result.deployment.leak_experiment,
         )
+
+    # ------------------------------------------------------------------
+    # row/table views
+    # ------------------------------------------------------------------
+
+    @property
+    def events(self) -> list[CapturedEvent]:
+        """All honeypot events as row objects (materialized lazily)."""
+        if self._events is None:
+            rows: list[CapturedEvent] = []
+            for table in self.tables.values():
+                rows.extend(table.materialize())
+            self._events = rows
+        return self._events
+
+    @events.setter
+    def events(self, events: Iterable[CapturedEvent]) -> None:
+        """Replace the row view (tests build datasets this way); any
+        columnar backing no longer describes the rows, so drop it."""
+        self._events = list(events)
+        self.tables = None
+        self._by_vantage_cache = None
+        self._oracle = None
+
+    def _by_vantage(self) -> dict[str, list[CapturedEvent]]:
+        if self._by_vantage_cache is None:
+            grouped: dict[str, list[CapturedEvent]] = defaultdict(list)
+            for event in self.events:
+                grouped[event.vantage_id].append(event)
+            self._by_vantage_cache = grouped
+        return self._by_vantage_cache
 
     # ------------------------------------------------------------------
     # event-level classification
@@ -137,7 +185,10 @@ class AnalysisDataset:
         return self._vantage_by_id[vantage_id]
 
     def events_for(self, vantage_id: str) -> list[CapturedEvent]:
-        return self._by_vantage.get(vantage_id, [])
+        if self.tables is not None:
+            table = self.tables.get(vantage_id)
+            return table.materialize() if table is not None else []
+        return self._by_vantage().get(vantage_id, [])
 
     def vantages_in(
         self,
@@ -265,7 +316,16 @@ class AnalysisDataset:
 
     def sources_on_port(self, port: int, kind: NetworkKind) -> set[int]:
         """Source IPs observed on ``port`` at honeypots of one network kind."""
-        sources: set[int] = set()
+        if self.tables is not None:
+            sources: set[int] = set()
+            for table in self.tables.values():
+                if table.network_kind != kind or len(table) == 0:
+                    continue
+                mask = table.dst_port == port
+                if mask.any():
+                    sources.update(np.unique(table.src_ip[mask]).tolist())
+            return sources
+        sources = set()
         for event in self.events:
             if event.dst_port == port and event.network_kind == kind:
                 sources.add(event.src_ip)
@@ -273,7 +333,34 @@ class AnalysisDataset:
 
     def malicious_sources_on_port(self, port: int, kind: NetworkKind) -> set[int]:
         """Source IPs that sent *malicious* traffic on ``port``/``kind``."""
-        sources: set[int] = set()
+        if self.tables is not None:
+            sources: set[int] = set()
+            cache = self._malicious_cache
+            classify = self.classifier.is_malicious_parts
+            for table in self.tables.values():
+                if table.network_kind != kind or len(table) == 0:
+                    continue
+                matching = np.flatnonzero(table.dst_port == port)
+                if len(matching) == 0:
+                    continue
+                src_ips = table.src_ip
+                payloads = table.payloads
+                credentials = table.credentials
+                for index in matching.tolist():
+                    src_ip = int(src_ips[index])
+                    if src_ip in sources:
+                        continue
+                    payload = payloads[index]
+                    attempted = bool(credentials[index])
+                    key = (payload, port, attempted)
+                    verdict = cache.get(key)
+                    if verdict is None:
+                        verdict = classify(payload, port, attempted)
+                        cache[key] = verdict
+                    if verdict:
+                        sources.add(src_ip)
+            return sources
+        sources = set()
         for event in self.events:
             if (
                 event.dst_port == port

@@ -38,8 +38,14 @@ def hourly_matrix(
     hours = dataset.window.hours
     matrix = np.zeros((len(vantage_ids), hours))
     for row, vantage_id in enumerate(vantage_ids):
-        events = dataset.events_for(vantage_id)
-        matrix[row] = hourly_volumes((event.timestamp for event in events), hours)
+        if dataset.tables is not None:
+            table = dataset.tables.get(vantage_id)
+            if table is None or not len(table):
+                continue
+            matrix[row] = hourly_volumes(table.timestamps, hours)
+        else:
+            events = dataset.events_for(vantage_id)
+            matrix[row] = hourly_volumes((event.timestamp for event in events), hours)
     return matrix
 
 
@@ -102,16 +108,35 @@ def find_diurnal_sources(
     with fewer than ``min_events`` events are skipped — autocorrelation
     on a handful of timestamps is noise.
     """
-    timestamps: dict[int, list[float]] = defaultdict(list)
-    for event in dataset.events:
-        timestamps[event.src_ip].append(event.timestamp)
     hours = dataset.window.hours
     rhythmic: list[tuple[int, float]] = []
-    for src_ip, times in timestamps.items():
-        if len(times) < min_events:
-            continue
-        strength = diurnal_strength(hourly_volumes(times, hours))
-        if strength >= min_strength:
-            rhythmic.append((src_ip, strength))
+    if dataset.tables is not None:
+        tables = [table for table in dataset.tables.values() if len(table)]
+        if not tables:
+            return []
+        sources = np.concatenate([table.src_ip for table in tables])
+        times = np.concatenate([table.timestamps for table in tables])
+        order = np.argsort(sources, kind="stable")
+        sources = sources[order]
+        times = times[order]
+        boundaries = np.flatnonzero(np.diff(sources)) + 1
+        starts = np.concatenate(([0], boundaries))
+        stops = np.concatenate((boundaries, [len(sources)]))
+        for start, stop in zip(starts, stops):
+            if stop - start < min_events:
+                continue
+            strength = diurnal_strength(hourly_volumes(times[start:stop], hours))
+            if strength >= min_strength:
+                rhythmic.append((int(sources[start]), strength))
+    else:
+        timestamps: dict[int, list[float]] = defaultdict(list)
+        for event in dataset.events:
+            timestamps[event.src_ip].append(event.timestamp)
+        for src_ip, grouped in timestamps.items():
+            if len(grouped) < min_events:
+                continue
+            strength = diurnal_strength(hourly_volumes(grouped, hours))
+            if strength >= min_strength:
+                rhythmic.append((src_ip, strength))
     rhythmic.sort(key=lambda item: -item[1])
     return rhythmic

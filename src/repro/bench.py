@@ -1,0 +1,206 @@
+"""Benchmark harness: wall-clock timings for the simulate→analyze path.
+
+Times the four build stages (deployment, population, simulation, dataset
+construction) plus each experiment's analysis step, and appends one
+timestamped record to a JSON artifact (``BENCH_simulation.json`` by
+default, a list of records) so regressions are visible across runs.
+
+Entry points::
+
+    cloudwatching bench --scale 1.0          # CLI subcommand
+    python benchmarks/run_bench.py           # repo-local wrapper
+    python -m repro.bench                    # module form
+
+The benchmark pytest session (``pytest benchmarks/``) appends its own
+per-test records to the same artifact via ``benchmarks/conftest.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from typing import Optional, Sequence
+
+__all__ = ["run_bench", "append_record", "DEFAULT_ARTIFACT", "main"]
+
+#: Default JSON artifact, written to the current working directory.
+DEFAULT_ARTIFACT = "BENCH_simulation.json"
+
+#: Environment variable overriding the artifact path everywhere.
+ARTIFACT_ENV = "CLOUDWATCHING_BENCH_JSON"
+
+
+def artifact_path(override: Optional[str] = None) -> str:
+    """Resolve the artifact path (argument > environment > default)."""
+    return override or os.environ.get(ARTIFACT_ENV) or DEFAULT_ARTIFACT
+
+
+def append_record(record: dict, path: Optional[str] = None) -> str:
+    """Append one record to the JSON artifact (a list of records).
+
+    A missing or unparsable artifact starts a fresh list rather than
+    failing the benchmark that produced the record.
+    """
+    resolved = artifact_path(path)
+    records: list = []
+    try:
+        with open(resolved, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+        if isinstance(existing, list):
+            records = existing
+    except (OSError, ValueError):
+        pass
+    records.append(record)
+    with open(resolved, "w", encoding="utf-8") as handle:
+        json.dump(records, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return resolved
+
+
+def _timestamp() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+def run_bench(
+    scale: float = 1.0,
+    telescope_slash24s: int = 16,
+    seed: int = 777,
+    year: int = 2021,
+    emission: str = "batch",
+    experiments: Optional[Sequence[str]] = None,
+    artifact: Optional[str] = None,
+    quiet: bool = False,
+) -> dict:
+    """Run the simulation bench once and append the record to the artifact.
+
+    ``experiments=None`` times every experiment that runs on ``year``'s
+    population; pass an explicit list (possibly empty) to restrict it.
+    """
+    from repro.analysis.dataset import AnalysisDataset
+    from repro.cli import EXPERIMENT_YEARS
+    from repro.deployment.fleet import build_full_deployment
+    from repro.experiments import ALL_EXPERIMENTS, ExperimentConfig, ExperimentContext
+    from repro.experiments.context import _WINDOWS
+    from repro.scanners.population import PopulationConfig, build_population
+    from repro.sim.engine import SimulationConfig, run_simulation
+    from repro.sim.rng import RngHub
+
+    def _say(message: str) -> None:
+        if not quiet:
+            print(message, flush=True)
+
+    if experiments is not None:
+        unknown = [name for name in experiments if name not in ALL_EXPERIMENTS]
+        if unknown:
+            raise ValueError(
+                f"unknown experiments: {', '.join(unknown)} "
+                f"(choose from {', '.join(ALL_EXPERIMENTS)})"
+            )
+
+    stages: dict[str, float] = {}
+
+    started = time.perf_counter()
+    hub = RngHub(seed)
+    deployment = build_full_deployment(hub, num_telescope_slash24s=telescope_slash24s)
+    stages["deployment"] = time.perf_counter() - started
+    _say(f"deployment built in {stages['deployment']:.2f}s")
+
+    started = time.perf_counter()
+    population = build_population(PopulationConfig(year=year, scale=scale))
+    stages["population"] = time.perf_counter() - started
+    _say(f"population built in {stages['population']:.2f}s ({len(population)} scanners)")
+
+    started = time.perf_counter()
+    result = run_simulation(
+        deployment,
+        population,
+        SimulationConfig(seed=seed, window=_WINDOWS[year], emission=emission),
+    )
+    stages["simulation"] = time.perf_counter() - started
+    _say(f"simulation ran in {stages['simulation']:.2f}s ({result.total_events():,} events)")
+
+    started = time.perf_counter()
+    dataset = AnalysisDataset.from_simulation(result)
+    stages["dataset"] = time.perf_counter() - started
+
+    config = ExperimentConfig(
+        year=year, scale=scale, telescope_slash24s=telescope_slash24s, seed=seed
+    )
+    context = ExperimentContext(
+        config=config, deployment=deployment, result=result, dataset=dataset
+    )
+
+    if experiments is None:
+        experiments = [
+            experiment_id
+            for experiment_id in ALL_EXPERIMENTS
+            if EXPERIMENT_YEARS.get(experiment_id, year) == year
+        ]
+    experiment_timings: dict[str, float] = {}
+    for experiment_id in experiments:
+        run = ALL_EXPERIMENTS[experiment_id]
+        started = time.perf_counter()
+        run(context)
+        experiment_timings[experiment_id] = time.perf_counter() - started
+        _say(f"{experiment_id} analyzed in {experiment_timings[experiment_id]:.2f}s")
+
+    record = {
+        "timestamp": _timestamp(),
+        "kind": "bench",
+        "scale": scale,
+        "telescope_slash24s": telescope_slash24s,
+        "seed": seed,
+        "year": year,
+        "emission": emission,
+        "events": result.total_events(),
+        "stages": {name: round(value, 4) for name, value in stages.items()},
+        "stages_total": round(sum(stages.values()), 4),
+        "experiments": {
+            name: round(value, 4) for name, value in experiment_timings.items()
+        },
+    }
+    written = append_record(record, artifact)
+    _say(
+        f"build total {record['stages_total']:.2f}s, "
+        f"analysis total {sum(experiment_timings.values()):.2f}s; "
+        f"record appended to {written}"
+    )
+    return record
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="run_bench", description="Time the simulate→analyze pipeline."
+    )
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="population scale factor (default 1.0, the pinned bench scale)")
+    parser.add_argument("--telescope", type=int, default=16,
+                        help="telescope size in /24s (default 16)")
+    parser.add_argument("--seed", type=int, default=777)
+    parser.add_argument("--year", type=int, default=2021, choices=(2020, 2021, 2022))
+    parser.add_argument("--emission", default="batch", choices=("batch", "scalar"),
+                        help="event-emission mode to benchmark (default batch)")
+    parser.add_argument("--experiments", nargs="*", default=None, metavar="ID",
+                        help="experiment ids to time (default: all for the year)")
+    parser.add_argument("--output", default=None, metavar="BENCH.json",
+                        help=f"artifact path (default ${ARTIFACT_ENV} or {DEFAULT_ARTIFACT})")
+    args = parser.parse_args(argv)
+    try:
+        run_bench(
+            scale=args.scale,
+            telescope_slash24s=args.telescope,
+            seed=args.seed,
+            year=args.year,
+            emission=args.emission,
+            experiments=args.experiments,
+            artifact=args.output,
+        )
+    except ValueError as error:
+        parser.error(str(error))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -47,6 +47,20 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--year", type=int, default=2021, choices=(2020, 2021, 2022))
     _add_sim_args(simulate)
 
+    bench = subparsers.add_parser(
+        "bench", help="time the simulate→analyze pipeline, append BENCH_simulation.json"
+    )
+    bench.add_argument("--scale", type=float, default=1.0,
+                       help="population scale factor (default 1.0, the pinned bench scale)")
+    bench.add_argument("--telescope", type=int, default=16,
+                       help="telescope size in /24s (default 16)")
+    bench.add_argument("--seed", type=int, default=777)
+    bench.add_argument("--year", type=int, default=2021, choices=(2020, 2021, 2022))
+    bench.add_argument("--emission", default="batch", choices=("batch", "scalar"),
+                       help="event-emission mode to benchmark (default batch)")
+    bench.add_argument("--output", default=None, metavar="BENCH.json",
+                       help="artifact path (default BENCH_simulation.json)")
+
     serve = subparsers.add_parser(
         "serve", help="run live honeypots on loopback and print captures"
     )
@@ -112,6 +126,20 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro.bench import run_bench
+
+    run_bench(
+        scale=args.scale,
+        telescope_slash24s=args.telescope,
+        seed=args.seed,
+        year=args.year,
+        emission=args.emission,
+        artifact=args.output,
+    )
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -168,6 +196,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_run(args)
     if args.command == "simulate":
         return _command_simulate(args)
+    if args.command == "bench":
+        return _command_bench(args)
     if args.command == "serve":
         return _command_serve(args)
     raise AssertionError("unreachable")

@@ -62,9 +62,19 @@ class MaliciousnessClassifier:
         Telescope events can never be classified malicious: they carry no
         payload — which is exactly the blindness Section 8 warns about.
         """
-        if event.attempted_login:
+        return self.is_malicious_parts(
+            event.payload, event.dst_port, event.attempted_login
+        )
+
+    def is_malicious_parts(
+        self, payload: bytes, dst_port: int, attempted_login: bool
+    ) -> bool:
+        """Column-friendly form of :meth:`is_malicious`: the decision
+        depends only on these three fields, so columnar pipelines can
+        classify without materializing event objects."""
+        if attempted_login:
             return True
-        if event.payload and self.rule_engine.is_malicious(event.payload, event.dst_port):
+        if payload and self.rule_engine.is_malicious(payload, dst_port):
             return True
         return False
 

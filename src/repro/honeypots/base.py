@@ -14,13 +14,14 @@ attackers *did* and what researchers *know*.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 import numpy as np
 
+from repro.io.table import EventTable
 from repro.net.packets import Transport
-from repro.sim.events import CapturedEvent, NetworkKind, ScanIntent
+from repro.sim.events import CapturedEvent, IntentBatch, NetworkKind, ScanIntent
 
 __all__ = ["CaptureStack", "VantagePoint", "VantageCapture"]
 
@@ -47,6 +48,56 @@ class CaptureStack(abc.ABC):
         self, intent: ScanIntent, vantage: "VantagePoint", src_asn: int
     ) -> Optional[CapturedEvent]:
         """Turn a connection attempt into a dataset record (or drop it)."""
+
+    def capture_batch(
+        self,
+        batch: IntentBatch,
+        vantage: "VantagePoint",
+        src_asns: np.ndarray,
+        table: EventTable,
+    ) -> int:
+        """Capture a whole intent batch into ``table``; returns rows kept.
+
+        Stacks that define :meth:`capture_batch_columns` append one
+        zero-copy column chunk; everything else (e.g. stochastic wrappers
+        like the firewall) falls back to materializing rows through
+        :meth:`capture`, so any stack is batch-capable.  Both paths must
+        record exactly what the scalar path would.
+        """
+        columns = self.capture_batch_columns(batch, src_asns)
+        if columns is not None:
+            return table.append_view(columns, 0, len(batch))
+        appended = 0
+        for intent, src_asn in zip(batch.intents(), src_asns):
+            event = self.capture(intent, vantage, int(src_asn))
+            if event is not None:
+                table.append_event(event)
+                appended += 1
+        return appended
+
+    def capture_batch_columns(
+        self, batch: IntentBatch, src_asns: np.ndarray
+    ) -> Optional[dict]:
+        """Vectorized capture: the batch's captured-column dict, or None.
+
+        A stack whose capture transformation is a pure per-row column
+        mapping (no drops, no vantage dependence) returns the
+        :class:`~repro.io.table.EventTable` chunk columns for the *whole*
+        batch; callers append per-vantage ``[start, stop)`` views of it.
+        Returning None routes the batch through the scalar fallback.
+        """
+        return None
+
+    def batch_policy_key(self, port: int) -> Optional[tuple]:
+        """Hash key identifying this stack's capture transformation.
+
+        Two stack instances with equal keys produce identical
+        :meth:`capture_batch_columns` for the same batch, letting the
+        engine compute the columns once and share them across every
+        vantage in a run (stack instances are per-vantage).  None means
+        the transformation is not shareable (scalar fallback).
+        """
+        return None
 
     def _base_event(
         self,
@@ -106,12 +157,29 @@ class VantagePoint:
         )
 
 
-@dataclass
 class VantageCapture:
-    """The event dataset recorded at one vantage point."""
+    """The event dataset recorded at one vantage point.
 
-    vantage: VantagePoint
-    events: list[CapturedEvent] = field(default_factory=list)
+    Events live in a columnar :class:`~repro.io.table.EventTable`; the
+    ``events`` property materializes (and caches) row objects for
+    consumers that still iterate, while column-oriented analyses read
+    ``capture.table`` directly.
+    """
+
+    def __init__(
+        self,
+        vantage: VantagePoint,
+        events: Optional[Iterable[CapturedEvent]] = None,
+    ) -> None:
+        self.vantage = vantage
+        self.table = EventTable.for_vantage(vantage)
+        if events:
+            self.extend(events)
+
+    @property
+    def events(self) -> list[CapturedEvent]:
+        """Row-object view of the table (built lazily, cached)."""
+        return self.table.materialize()
 
     def record(self, intent: ScanIntent, src_asn: int) -> Optional[CapturedEvent]:
         """Run one intent through the vantage's stack; keep what survives."""
@@ -119,11 +187,20 @@ class VantageCapture:
             return None
         event = self.vantage.stack.capture(intent, self.vantage, src_asn)
         if event is not None:
-            self.events.append(event)
+            self.table.append_event(event)
         return event
 
+    def record_batch(self, batch: IntentBatch, src_asns: np.ndarray) -> int:
+        """Run a whole intent batch through the stack; returns rows kept."""
+        if len(batch) == 0 or not self.vantage.stack.observes(batch.dst_port):
+            return 0
+        return self.vantage.stack.capture_batch(
+            batch, self.vantage, src_asns, self.table
+        )
+
     def extend(self, events: Iterable[CapturedEvent]) -> None:
-        self.events.extend(events)
+        for event in events:
+            self.table.append_event(event)
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self.table)

@@ -12,8 +12,12 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Optional
 
+import numpy as np
+
 from repro.honeypots.base import CaptureStack, VantagePoint
-from repro.sim.events import CapturedEvent, ScanIntent
+from repro.io.table import TRANSPORT_CODES
+from repro.net.packets import Transport
+from repro.sim.events import CapturedEvent, IntentBatch, ScanIntent
 from repro.sim.rng import stable_hash64
 
 __all__ = ["CowrieStack", "COWRIE_PORTS"]
@@ -56,16 +60,18 @@ class CowrieStack(CaptureStack):
     def observes(self, port: int) -> bool:
         return port in self._ports
 
-    def _accepts_login(self, intent: ScanIntent) -> bool:
+    def _accepts_login_at(self, src_ip: int, dst_ip: int, timestamp: float) -> bool:
         if self._accept_probability >= 1.0:
             return True
         if self._accept_probability <= 0.0:
             return False
         draw = stable_hash64(
-            self._seed, "cowrie-login", intent.src_ip, intent.dst_ip,
-            round(intent.timestamp, 6),
+            self._seed, "cowrie-login", src_ip, dst_ip, round(timestamp, 6)
         ) / float(1 << 64)
         return draw < self._accept_probability
+
+    def _accepts_login(self, intent: ScanIntent) -> bool:
+        return self._accepts_login_at(intent.src_ip, intent.dst_ip, intent.timestamp)
 
     def capture(
         self, intent: ScanIntent, vantage: VantagePoint, src_asn: int
@@ -85,3 +91,49 @@ class CowrieStack(CaptureStack):
         if commands:
             event = replace(event, commands=commands)
         return event
+
+    def capture_batch_columns(self, batch: IntentBatch, src_asns: np.ndarray) -> dict:
+        """Vectorized capture: credentials verbatim, commands per login.
+
+        Only sessions that both tried credentials and carry a command
+        sequence run the deterministic accept-login hash — the scalar
+        path's exact gate — so the per-row Python work is limited to the
+        small logged-in candidate subset.
+        """
+        count = len(batch)
+        credentials = batch.credentials
+        batch_commands = batch.commands
+        commands: object = ()
+        if self._accept_probability > 0.0:
+            candidates = [
+                index
+                for index in range(count)
+                if credentials[index] and batch_commands[index]
+            ]
+            if candidates:
+                column = np.empty(count, dtype=object)
+                column[:] = [()] * count
+                src_ips = batch.src_ips
+                dst_ips = batch.dst_ips
+                timestamps = batch.timestamps
+                for index in candidates:
+                    if self._accepts_login_at(
+                        int(src_ips[index]), int(dst_ips[index]), float(timestamps[index])
+                    ):
+                        column[index] = batch_commands[index]
+                commands = column
+        return {
+            "timestamps": batch.timestamps,
+            "src_ip": batch.src_ips,
+            "src_asn": src_asns,
+            "dst_ip": batch.dst_ips,
+            "dst_port": batch.dst_port,
+            "transport_code": TRANSPORT_CODES[batch.transport],
+            "handshake": batch.transport is Transport.TCP,
+            "payload": batch.payloads,
+            "credentials": credentials,
+            "commands": commands,
+        }
+
+    def batch_policy_key(self, port: int) -> tuple:
+        return ("cowrie", self._accept_probability, self._seed)

@@ -11,9 +11,13 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro.honeypots.base import CaptureStack, VantagePoint
 from repro.honeypots.cowrie import COWRIE_PORTS, CowrieStack
-from repro.sim.events import CapturedEvent, ScanIntent
+from repro.io.table import TRANSPORT_CODES
+from repro.net.packets import Transport
+from repro.sim.events import CapturedEvent, IntentBatch, ScanIntent
 
 __all__ = ["GreyNoiseStack", "GREYNOISE_DEFAULT_PORTS"]
 
@@ -56,3 +60,24 @@ class GreyNoiseStack(CaptureStack):
             handshake=True,
             payload=intent.payload,
         )
+
+    def capture_batch_columns(self, batch: IntentBatch, src_asns: np.ndarray) -> dict:
+        if self._cowrie.observes(batch.dst_port):
+            return self._cowrie.capture_batch_columns(batch, src_asns)
+        return {
+            "timestamps": batch.timestamps,
+            "src_ip": batch.src_ips,
+            "src_asn": src_asns,
+            "dst_ip": batch.dst_ips,
+            "dst_port": batch.dst_port,
+            "transport_code": TRANSPORT_CODES[batch.transport],
+            "handshake": batch.transport is Transport.TCP,
+            "payload": batch.payloads,
+            "credentials": (),
+            "commands": (),
+        }
+
+    def batch_policy_key(self, port: int) -> tuple:
+        if self._cowrie.observes(port):
+            return self._cowrie.batch_policy_key(port)
+        return ("greynoise",)

@@ -15,8 +15,12 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro.honeypots.base import CaptureStack, VantagePoint
-from repro.sim.events import CapturedEvent, ScanIntent
+from repro.io.table import TRANSPORT_CODES
+from repro.net.packets import Transport
+from repro.sim.events import CapturedEvent, IntentBatch, ScanIntent
 
 __all__ = ["HoneytrapStack"]
 
@@ -47,3 +51,21 @@ class HoneytrapStack(CaptureStack):
             payload=intent.payload,
             credentials=credentials,
         )
+
+    def capture_batch_columns(self, batch: IntentBatch, src_asns: np.ndarray) -> dict:
+        interactive = batch.dst_port in self._interactive_ports
+        return {
+            "timestamps": batch.timestamps,
+            "src_ip": batch.src_ips,
+            "src_asn": src_asns,
+            "dst_ip": batch.dst_ips,
+            "dst_port": batch.dst_port,
+            "transport_code": TRANSPORT_CODES[batch.transport],
+            "handshake": batch.transport is Transport.TCP,
+            "payload": batch.payloads,
+            "credentials": batch.credentials if interactive else (),
+            "commands": (),
+        }
+
+    def batch_policy_key(self, port: int) -> tuple:
+        return ("honeytrap", port in self._interactive_ports)

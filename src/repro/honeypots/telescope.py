@@ -27,7 +27,8 @@ from typing import Optional
 import numpy as np
 
 from repro.honeypots.base import CaptureStack, VantagePoint
-from repro.sim.events import CapturedEvent, ScanIntent
+from repro.io.table import TRANSPORT_CODES
+from repro.sim.events import CapturedEvent, IntentBatch, ScanIntent
 
 __all__ = ["TelescopeStack", "TelescopeCapture"]
 
@@ -48,6 +49,24 @@ class TelescopeStack(CaptureStack):
         # payload, no credentials — regardless of what the scanner would
         # have sent.
         return self._base_event(intent, vantage, src_asn, handshake=False, payload=b"")
+
+    def capture_batch_columns(self, batch: IntentBatch, src_asns: np.ndarray) -> dict:
+        # Header-only columns: the application-layer fields never survive.
+        return {
+            "timestamps": batch.timestamps,
+            "src_ip": batch.src_ips,
+            "src_asn": src_asns,
+            "dst_ip": batch.dst_ips,
+            "dst_port": batch.dst_port,
+            "transport_code": TRANSPORT_CODES[batch.transport],
+            "handshake": False,
+            "payload": b"",
+            "credentials": (),
+            "commands": (),
+        }
+
+    def batch_policy_key(self, port: int) -> tuple:
+        return ("telescope",)
 
 
 @dataclass

@@ -8,8 +8,10 @@ from repro.io.records import (
     record_to_event,
     write_events,
 )
+from repro.io.table import EventTable
 
 __all__ = [
     "DatasetWriter", "event_to_record", "read_events", "record_to_event", "write_events",
     "intents_to_packets", "packets_to_flows", "read_packets", "write_packets",
+    "EventTable",
 ]

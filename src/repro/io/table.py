@@ -1,0 +1,318 @@
+"""Columnar event storage: the struct-of-arrays backbone of a capture.
+
+The paper's apparatus recorded ~24M sessions; materializing one
+:class:`~repro.sim.events.CapturedEvent` dataclass per session inside
+Python loops is the single hottest path of the simulator.  An
+:class:`EventTable` stores one vantage point's events as parallel numpy
+columns instead (timestamps, addresses, ports, handshake flags) plus
+object columns for the variable-width fields (payload bytes, credential
+sequences, shell commands).
+
+Design points:
+
+* **Chunked appends** — the capture pipeline appends whole batches (one
+  per campaign × vantage run); a batch append just parks column
+  references in a chunk list, so it is O(1) regardless of batch size.
+  Columns are consolidated into single contiguous arrays lazily, on
+  first access.
+* **Lazy row materialization** — analyses that still iterate rows call
+  :meth:`materialize` (or the ``events`` property of
+  :class:`~repro.honeypots.base.VantageCapture`), which builds the
+  ``CapturedEvent`` list once and caches it.  Group-by/count analyses
+  use the column accessors directly and never pay for row objects.
+* **Scalar compatibility** — :meth:`append_event` keeps the one-row API
+  alive for the live replayer, the scalar capture fallback, and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.net.packets import Transport
+from repro.sim.events import CapturedEvent, NetworkKind
+
+__all__ = ["EventTable", "TRANSPORT_CODES", "TRANSPORT_OF_CODE"]
+
+#: Compact integer encoding of :class:`~repro.net.packets.Transport`.
+TRANSPORT_CODES: dict[Transport, int] = {Transport.TCP: 0, Transport.UDP: 1}
+TRANSPORT_OF_CODE: tuple[Transport, ...] = (Transport.TCP, Transport.UDP)
+
+#: Column names in schema order (numeric columns first, object columns last).
+_NUMERIC_COLUMNS = ("timestamps", "src_ip", "src_asn", "dst_ip", "dst_port",
+                    "transport_code", "handshake")
+_OBJECT_COLUMNS = ("payload", "credentials", "commands")
+_DTYPES = {
+    "timestamps": np.float64,
+    "src_ip": np.int64,
+    "src_asn": np.int64,
+    "dst_ip": np.int64,
+    "dst_port": np.int64,
+    "transport_code": np.int8,
+    "handshake": np.bool_,
+}
+
+_Scalar = Union[int, float, bool, bytes, tuple]
+
+
+def _object_column(length: int, values) -> np.ndarray:
+    """Build a length-``length`` object column from a sequence or scalar."""
+    column = np.empty(length, dtype=object)
+    if length == 0:
+        return column
+    if isinstance(values, np.ndarray) and values.dtype == object:
+        column[:] = values
+    elif isinstance(values, (bytes, tuple)):
+        column[:] = [values] * length
+    else:
+        column[:] = list(values)
+    return column
+
+
+class EventTable:
+    """Struct-of-arrays storage for one vantage point's captured events.
+
+    All events in a table share the vantage-identity fields
+    (``vantage_id``, ``network``, ``network_kind``, ``region``); per-event
+    data lives in parallel columns.
+    """
+
+    def __init__(
+        self,
+        vantage_id: str,
+        network: str,
+        network_kind: NetworkKind,
+        region: str,
+    ) -> None:
+        self.vantage_id = vantage_id
+        self.network = network
+        self.network_kind = network_kind
+        self.region = region
+        # Each chunk is (columns, start, stop): a dict of column-name ->
+        # (array | scalar) plus the half-open row range of it this table
+        # owns.  Appending therefore never copies — many tables can share
+        # one column set, each holding a different range — and scalars
+        # broadcast at consolidation time.
+        self._chunks: list[tuple[dict, int, int]] = []
+        self._length = 0
+        self._columns: Optional[dict[str, np.ndarray]] = None
+        self._rows: Optional[list[CapturedEvent]] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def for_vantage(cls, vantage) -> "EventTable":
+        return cls(vantage.vantage_id, vantage.network, vantage.kind, vantage.region_code)
+
+    @classmethod
+    def from_events(cls, events: Iterable[CapturedEvent],
+                    vantage_id: Optional[str] = None) -> "EventTable":
+        """Build a table from row records (all of one vantage)."""
+        events = list(events)
+        if not events:
+            if vantage_id is None:
+                raise ValueError("cannot infer vantage identity from zero events")
+            return cls(vantage_id, "", NetworkKind.CLOUD, "")
+        first = events[0]
+        table = cls(first.vantage_id, first.network, first.network_kind, first.region)
+        for event in events:
+            table.append_event(event)
+        return table
+
+    # ------------------------------------------------------------------
+    # appends
+    # ------------------------------------------------------------------
+
+    def _invalidate(self) -> None:
+        self._columns = None
+        self._rows = None
+
+    def append_event(self, event: CapturedEvent) -> None:
+        """Append one row (scalar capture path and live replay)."""
+        columns = {
+            "timestamps": float(event.timestamp),
+            "src_ip": int(event.src_ip),
+            "src_asn": int(event.src_asn),
+            "dst_ip": int(event.dst_ip),
+            "dst_port": int(event.dst_port),
+            "transport_code": TRANSPORT_CODES[event.transport],
+            "handshake": bool(event.handshake),
+            "payload": event.payload,
+            "credentials": event.credentials,
+            "commands": event.commands,
+        }
+        self._chunks.append((columns, 0, 1))
+        self._length += 1
+        self._invalidate()
+
+    def append_batch(
+        self,
+        timestamps: np.ndarray,
+        src_ips: np.ndarray,
+        src_asns: np.ndarray,
+        dst_ips: Union[np.ndarray, int],
+        dst_port: int,
+        transport: Transport,
+        handshake: Union[np.ndarray, bool],
+        payloads: Union[np.ndarray, bytes],
+        credentials: Union[np.ndarray, tuple] = (),
+        commands: Union[np.ndarray, tuple] = (),
+    ) -> int:
+        """Append a column batch; scalars broadcast over the batch length.
+
+        This is O(1): column references are parked in a chunk and only
+        concatenated when a column accessor is first used.
+        """
+        length = len(timestamps)
+        if length == 0:
+            return 0
+        columns = {
+            "timestamps": timestamps,
+            "src_ip": src_ips,
+            "src_asn": src_asns,
+            "dst_ip": dst_ips,
+            "dst_port": int(dst_port),
+            "transport_code": TRANSPORT_CODES[transport],
+            "handshake": handshake,
+            "payload": payloads,
+            "credentials": credentials,
+            "commands": commands,
+        }
+        return self.append_view(columns, 0, length)
+
+    def append_view(self, columns: dict, start: int, stop: int) -> int:
+        """Append rows ``[start, stop)`` of a shared column set.
+
+        The hottest capture path: many vantages share one column dict
+        (a whole campaign batch run through one capture policy) and each
+        appends only its contiguous run.  Nothing is sliced or copied
+        here — the range is resolved lazily at consolidation.
+        """
+        if stop <= start:
+            return 0
+        self._chunks.append((columns, start, stop))
+        self._length += stop - start
+        self._invalidate()
+        return stop - start
+
+    def extend(self, events: Iterable[CapturedEvent]) -> None:
+        for event in events:
+            self.append_event(event)
+
+    # ------------------------------------------------------------------
+    # consolidation + column accessors
+    # ------------------------------------------------------------------
+
+    def _consolidate(self) -> dict[str, np.ndarray]:
+        if self._columns is not None:
+            return self._columns
+        columns: dict[str, np.ndarray] = {}
+        for name in _NUMERIC_COLUMNS:
+            dtype = _DTYPES[name]
+            parts = []
+            for chunk, start, stop in self._chunks:
+                value = chunk[name]
+                if isinstance(value, np.ndarray):
+                    parts.append(value[start:stop].astype(dtype, copy=False))
+                else:
+                    parts.append(np.full(stop - start, value, dtype=dtype))
+            columns[name] = (
+                np.concatenate(parts) if parts else np.empty(0, dtype=dtype)
+            )
+        for name in _OBJECT_COLUMNS:
+            parts = []
+            for chunk, start, stop in self._chunks:
+                value = chunk[name]
+                if isinstance(value, np.ndarray):
+                    value = value[start:stop]
+                parts.append(_object_column(stop - start, value))
+            columns[name] = (
+                np.concatenate(parts) if parts else np.empty(0, dtype=object)
+            )
+        self._columns = columns
+        return columns
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        return self._consolidate()["timestamps"]
+
+    @property
+    def src_ip(self) -> np.ndarray:
+        return self._consolidate()["src_ip"]
+
+    @property
+    def src_asn(self) -> np.ndarray:
+        return self._consolidate()["src_asn"]
+
+    @property
+    def dst_ip(self) -> np.ndarray:
+        return self._consolidate()["dst_ip"]
+
+    @property
+    def dst_port(self) -> np.ndarray:
+        return self._consolidate()["dst_port"]
+
+    @property
+    def transport_code(self) -> np.ndarray:
+        return self._consolidate()["transport_code"]
+
+    @property
+    def handshake(self) -> np.ndarray:
+        return self._consolidate()["handshake"]
+
+    @property
+    def payloads(self) -> np.ndarray:
+        return self._consolidate()["payload"]
+
+    @property
+    def credentials(self) -> np.ndarray:
+        return self._consolidate()["credentials"]
+
+    @property
+    def commands(self) -> np.ndarray:
+        return self._consolidate()["commands"]
+
+    # ------------------------------------------------------------------
+    # row materialization
+    # ------------------------------------------------------------------
+
+    def materialize(self) -> list[CapturedEvent]:
+        """Build (and cache) the row-object view of the table."""
+        if self._rows is None:
+            self._rows = list(self.iter_events())
+        return self._rows
+
+    def iter_events(self) -> Iterator[CapturedEvent]:
+        """Yield row records without caching them."""
+        columns = self._consolidate()
+        vantage_id, network = self.vantage_id, self.network
+        kind, region = self.network_kind, self.region
+        timestamps = columns["timestamps"]
+        src_ip, src_asn = columns["src_ip"], columns["src_asn"]
+        dst_ip, dst_port = columns["dst_ip"], columns["dst_port"]
+        transport_code, handshake = columns["transport_code"], columns["handshake"]
+        payload, credentials = columns["payload"], columns["credentials"]
+        commands = columns["commands"]
+        for index in range(self._length):
+            yield CapturedEvent(
+                vantage_id=vantage_id,
+                network=network,
+                network_kind=kind,
+                region=region,
+                timestamp=float(timestamps[index]),
+                src_ip=int(src_ip[index]),
+                src_asn=int(src_asn[index]),
+                dst_ip=int(dst_ip[index]),
+                dst_port=int(dst_port[index]),
+                transport=TRANSPORT_OF_CODE[transport_code[index]],
+                handshake=bool(handshake[index]),
+                payload=payload[index],
+                credentials=credentials[index],
+                commands=commands[index],
+            )

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
 
+import numpy as np
+
 from repro.net.addresses import Prefix, int_to_ip
 
 __all__ = ["AutonomousSystem", "ASRegistry", "default_registry", "PAPER_ASES"]
@@ -106,15 +108,27 @@ class ASRegistry:
         The simulator calls this to mint stable per-scanner source IPs.
         Raises ``RuntimeError`` once an AS's first prefix is exhausted.
         """
+        return int(self.allocate_sources(asn, 1)[0])
+
+    def allocate_sources(self, asn: int, count: int) -> np.ndarray:
+        """Allocate ``count`` consecutive host addresses inside an AS.
+
+        Vectorized form of :meth:`allocate_source`: one cursor bump mints
+        a whole campaign's source pool as a ``uint32`` array.  Raises
+        ``RuntimeError`` once an AS's first prefix is exhausted.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
         system = self.get(asn)
         if not system.prefixes:
             raise RuntimeError(f"AS{asn} has no prefixes to allocate from")
         prefix = system.prefixes[0]
         cursor = self._alloc_cursor.get(asn, 1)  # skip the network address
-        if prefix.first + cursor > prefix.last:
+        if prefix.first + cursor + count - 1 > prefix.last:
             raise RuntimeError(f"AS{asn} prefix {prefix} exhausted")
-        self._alloc_cursor[asn] = cursor + 1
-        return prefix.first + cursor
+        self._alloc_cursor[asn] = cursor + count
+        start = prefix.first + cursor
+        return np.arange(start, start + count, dtype=np.int64).astype(np.uint32)
 
 
 def _prefix(cidr: str) -> tuple[Prefix, ...]:

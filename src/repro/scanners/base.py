@@ -20,12 +20,29 @@ import numpy as np
 
 from repro.net.addresses import int_to_ip
 from repro.net.packets import Transport
-from repro.scanners.credentials import sample_credentials
-from repro.scanners.payloads import http_payload, protocol_first_payload
+from repro.scanners.credentials import sample_credentials, sample_credentials_batch
+from repro.scanners.payloads import (
+    http_payload,
+    protocol_first_payload,
+    protocol_first_payload_cached,
+    render_http_cached,
+)
 from repro.scanners.strategies import TargetStrategy
-from repro.sim.events import Credential, ScanIntent
+from repro.sim.events import Credential, IntentBatch, ScanIntent
 
 __all__ = ["TemporalProfile", "PortPlan", "SearchEngineUse", "ScannerSpec"]
+
+#: Destination-host dotted-quad cache.  Batch intent synthesis converts
+#: the same few hundred honeypot addresses on every campaign; memoizing
+#: keeps the conversion off the hot path.
+_HOST_STRINGS: dict[int, str] = {}
+
+
+def _host_string(address: int) -> str:
+    host = _HOST_STRINGS.get(address)
+    if host is None:
+        host = _HOST_STRINGS[address] = int_to_ip(address)
+    return host
 
 
 @dataclass(frozen=True)
@@ -69,6 +86,27 @@ class TemporalProfile:
         picks = rng.integers(0, self.burst_count, size=count)
         offsets = rng.uniform(0.0, self.burst_hours, size=count)
         return np.clip(starts[picks] + offsets, 0.0, np.nextafter(window_hours, 0.0))
+
+    def sample_times_grouped(
+        self, rng: np.random.Generator, counts: np.ndarray, window_hours: float
+    ) -> np.ndarray:
+        """Sample times for many destinations at once (concatenated).
+
+        ``counts[i]`` sessions belong to destination *i*; the result is
+        the per-destination samples concatenated in order.  Uniform and
+        diurnal sessions are i.i.d., so they collapse into one vectorized
+        draw; burst mode keeps its per-destination burst windows (each
+        destination draws its own burst starts, as the scalar path did).
+        """
+        total = int(np.sum(counts))
+        if self.mode != "burst":
+            return self.sample_times(rng, total, window_hours)
+        parts = [
+            self.sample_times(rng, int(count), window_hours) for count in counts
+        ]
+        if not parts:
+            return np.empty(0, dtype=np.float64)
+        return np.concatenate(parts)
 
     def _sample_diurnal(
         self, rng: np.random.Generator, count: int, window_hours: float
@@ -135,8 +173,12 @@ class PortPlan:
         return bool(self.credential_dialect) and self.protocol in ("ssh", "telnet")
 
     def _http_probabilities(self) -> np.ndarray:
-        weights = np.asarray(self.http_weights, dtype=np.float64)
-        return weights / weights.sum()
+        cached = self.__dict__.get("_http_probability_cache")
+        if cached is None:
+            weights = np.asarray(self.http_weights, dtype=np.float64)
+            cached = weights / weights.sum()
+            object.__setattr__(self, "_http_probability_cache", cached)
+        return cached
 
     def build_intent(
         self,
@@ -179,6 +221,117 @@ class PortPlan:
             transport=self.transport,
             protocol=self.protocol,
             payload=payload,
+            credentials=credentials,
+            commands=commands,
+        )
+
+    def build_intent_batch(
+        self,
+        rng: np.random.Generator,
+        timestamps: np.ndarray,
+        src_ips: np.ndarray,
+        dst_ips: np.ndarray,
+        dst_regions: Optional[np.ndarray] = None,
+    ) -> IntentBatch:
+        """Synthesize a whole batch of session intents in columnar form.
+
+        The draw order is fixed and documented so that batch and scalar
+        *emission* modes share one RNG stream (the engine always builds
+        intents through this method and materializes rows afterwards when
+        running in scalar mode):
+
+        1. HTTP corpora: one vectorized ``choice`` over payload names.
+        2. Interactive plans: one ``random`` per session (banner gate),
+           one ``integers`` batch for attempt counts over login sessions,
+           then credentials per dialect in sorted dialect-name order, then
+           one ``integers`` batch for shell-command choices over sessions
+           that drew at least one credential.
+
+        Payload rendering is memoized per (payload, host) so repeated
+        destinations cost nothing.
+        """
+        count = len(timestamps)
+        timestamps = np.asarray(timestamps, dtype=np.float64)
+        src_ips = np.asarray(src_ips, dtype=np.int64)
+        dst_ips = np.asarray(dst_ips, dtype=np.int64)
+        payloads = np.empty(count, dtype=object)
+        credentials = np.empty(count, dtype=object)
+        credentials[:] = [()] * count if count else []
+        commands = np.empty(count, dtype=object)
+        commands[:] = [()] * count if count else []
+
+        unique_dsts, dst_inverse = np.unique(dst_ips, return_inverse=True)
+        hosts = [_host_string(int(address)) for address in unique_dsts]
+
+        if self.protocol == "http" and self.http_payloads:
+            names = self.http_payloads
+            indices = rng.choice(len(names), size=count, p=self._http_probabilities())
+            combos = indices.astype(np.int64) * len(hosts) + dst_inverse
+            unique_combos, combo_inverse = np.unique(combos, return_inverse=True)
+            rendered = np.empty(len(unique_combos), dtype=object)
+            rendered[:] = [
+                render_http_cached(names[int(combo) // len(hosts)], hosts[int(combo) % len(hosts)])
+                for combo in unique_combos
+            ]
+            payloads[:] = rendered[combo_inverse]
+        elif self.interactive:
+            first = np.empty(len(hosts), dtype=object)
+            first[:] = [protocol_first_payload_cached(self.protocol, host) for host in hosts]
+            payloads[:] = first[dst_inverse]
+            login_positions = np.flatnonzero(rng.random(count) >= self.banner_only_fraction)
+            if len(login_positions):
+                low, high = self.credential_attempts
+                attempts = rng.integers(low, high + 1, size=len(login_positions))
+                if self.region_dialects and dst_regions is not None:
+                    regions = np.asarray(dst_regions, dtype=object)[login_positions]
+                    dialect_names = np.empty(len(regions), dtype=object)
+                    dialect_names[:] = [
+                        self.region_dialects.get(region, self.credential_dialect)
+                        for region in regions
+                    ]
+                    for name in sorted(set(dialect_names.tolist())):
+                        group = np.flatnonzero(dialect_names == name)
+                        sequences = sample_credentials_batch(
+                            rng, name, attempts[group], distinct=self.distinct_credentials
+                        )
+                        for position, sequence in zip(login_positions[group].tolist(), sequences):
+                            credentials[position] = sequence
+                else:
+                    sequences = sample_credentials_batch(
+                        rng,
+                        self.credential_dialect,
+                        attempts,
+                        distinct=self.distinct_credentials,
+                    )
+                    for position, sequence in zip(login_positions.tolist(), sequences):
+                        credentials[position] = sequence
+                if self.shell_commands:
+                    with_credentials = [
+                        position
+                        for position in login_positions.tolist()
+                        if credentials[position]
+                    ]
+                    if with_credentials:
+                        choices = rng.integers(
+                            len(self.shell_commands), size=len(with_credentials)
+                        )
+                        for position, choice in zip(with_credentials, choices.tolist()):
+                            commands[position] = self.shell_commands[choice]
+        elif self.protocol:
+            first = np.empty(len(hosts), dtype=object)
+            first[:] = [protocol_first_payload_cached(self.protocol, host) for host in hosts]
+            payloads[:] = first[dst_inverse]
+        else:
+            payloads[:] = [b""] * count if count else []
+
+        return IntentBatch(
+            dst_port=self.port,
+            transport=self.transport,
+            protocol=self.protocol,
+            timestamps=timestamps,
+            src_ips=src_ips,
+            dst_ips=dst_ips,
+            payloads=payloads,
             credentials=credentials,
             commands=commands,
         )
@@ -242,6 +395,22 @@ class SearchEngineUse:
         if port_match:
             return min(0.9, self.stale_match + boost)
         return min(0.5, self.stale_other + boost * 0.25)
+
+    def selection_probabilities(
+        self, first_indexed: np.ndarray, port_match: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`selection_probability` over entry arrays."""
+        first_indexed = np.asarray(first_indexed, dtype=np.float64)
+        port_match = np.asarray(port_match, dtype=bool)
+        age_years = np.maximum(-first_indexed, 0.0) / 8760.0
+        boost = np.minimum(0.45, 0.30 * age_years)
+        stale = np.where(
+            port_match,
+            np.minimum(0.9, self.stale_match + boost),
+            np.minimum(0.5, self.stale_other + boost * 0.25),
+        )
+        fresh = np.where(port_match, self.fresh_match, self.fresh_other)
+        return np.where(first_indexed >= 0, fresh, stale)
 
 
 @dataclass(frozen=True)

@@ -16,7 +16,13 @@ import numpy as np
 
 from repro.sim.events import Credential
 
-__all__ = ["CredentialDialect", "DIALECTS", "dialect", "sample_credentials"]
+__all__ = [
+    "CredentialDialect",
+    "DIALECTS",
+    "dialect",
+    "sample_credentials",
+    "sample_credentials_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -202,3 +208,44 @@ def sample_credentials(
     else:
         indices = rng.choice(len(vocabulary.pairs), size=attempts, p=probabilities)
     return tuple(Credential(*vocabulary.pairs[index]) for index in indices)
+
+
+def sample_credentials_batch(
+    rng: np.random.Generator,
+    dialect_name: str,
+    attempts: np.ndarray,
+    distinct: bool = False,
+) -> list[tuple[tuple[str, str], ...]]:
+    """Vectorized :func:`sample_credentials` for a batch of sessions.
+
+    ``attempts[i]`` is session *i*'s login-attempt count; the return value
+    is one tuple of ``(username, password)`` pairs per session (plain
+    string pairs, the representation capture stacks record).  Without
+    ``distinct``, all sessions' draws collapse into a single weighted
+    ``choice`` call; distinct sampling (rare — only boosted search-engine
+    spikes use it) falls back to per-session no-replacement draws.
+    """
+    vocabulary = dialect(dialect_name)
+    pairs = vocabulary.pairs
+    probabilities = vocabulary.probabilities()
+    attempts = np.asarray(attempts, dtype=np.int64)
+    sequences: list[tuple[tuple[str, str], ...]] = [()] * len(attempts)
+    if distinct:
+        for position, count in enumerate(attempts):
+            count = min(int(count), len(pairs))
+            if count <= 0:
+                continue
+            indices = rng.choice(len(pairs), size=count, replace=False, p=probabilities)
+            sequences[position] = tuple(pairs[index] for index in indices)
+        return sequences
+    positive = np.flatnonzero(attempts > 0)
+    if len(positive) == 0:
+        return sequences
+    counts = attempts[positive]
+    draws = rng.choice(len(pairs), size=int(counts.sum()), p=probabilities).tolist()
+    cursor = 0
+    for position, count in zip(positive.tolist(), counts.tolist()):
+        end = cursor + count
+        sequences[position] = tuple(pairs[index] for index in draws[cursor:end])
+        cursor = end
+    return sequences

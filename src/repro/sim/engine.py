@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 import numpy as np
 
 from repro.honeypots.base import VantageCapture, VantagePoint
+from repro.io.table import EventTable
 
 if TYPE_CHECKING:  # imported lazily to avoid a deployment<->sim cycle
     from repro.deployment.fleet import Deployment
@@ -47,13 +48,27 @@ __all__ = ["SimulationConfig", "SimulationResult", "Simulator", "run_simulation"
 
 @dataclass
 class SimulationConfig:
-    """Tunable simulation parameters."""
+    """Tunable simulation parameters.
+
+    ``emission`` selects how intents reach capture stacks: ``"batch"``
+    (default) appends whole columnar batches per (campaign, vantage) run;
+    ``"scalar"`` materializes each row and funnels it through the
+    one-event ``capture`` API.  Both modes draw from the identical RNG
+    stream (all randomness happens while *building* batches), so a seed
+    produces the same dataset either way — the seed-equivalence tests
+    rely on this.
+    """
 
     seed: int = 20230701
     window: ObservationWindow = WEEK_2021
     crawl_time: float = -24.0  # engines crawled the fleet a day before the window
     leak_crawl_time: float = 2.0  # leaked services are crawled at experiment start
     max_sessions_per_pair: int = 512  # safety valve against runaway rates
+    emission: str = "batch"  # "batch" (columnar appends) or "scalar" (row-at-a-time)
+
+    def __post_init__(self) -> None:
+        if self.emission not in ("batch", "scalar"):
+            raise ValueError(f"unknown emission mode {self.emission!r}")
 
 
 @dataclass
@@ -84,6 +99,12 @@ class SimulationResult:
         for capture in self.captures.values():
             yield from capture.events
 
+    def tables(self) -> dict[str, "EventTable"]:
+        """Columnar per-vantage event tables (the zero-copy view)."""
+        return {
+            vantage_id: capture.table for vantage_id, capture in self.captures.items()
+        }
+
     def honeypot_vantages(self) -> list[VantagePoint]:
         return list(self.deployment.honeypots)
 
@@ -109,19 +130,26 @@ class Simulator:
         self._target_sets: dict[int, TargetSet] = {}
         self._vantage_of_index: dict[int, list[Optional[VantagePoint]]] = {}
         self._honeypot_counts: dict[int, int] = {}
+        # Per port: honeypot vantages in index order + an int32 array
+        # mapping each honeypot target index to its vantage's ordinal
+        # (vantages occupy contiguous index runs by construction).
+        self._port_vantages: dict[int, list[VantagePoint]] = {}
+        self._vantage_positions: dict[int, np.ndarray] = {}
+        self._honeypot_ip_cache: Optional[dict[int, VantagePoint]] = None
+        # Sorted listed-IP arrays per (engine, port) for avoidance masks.
+        self._listed_ip_cache: dict[tuple[str, int], np.ndarray] = {}
+        # Columnar (ips, ports, first_indexed) view of an engine's index.
+        self._engine_entry_cache: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     # phase 1: sources
     # ------------------------------------------------------------------
 
     def _allocate_sources(self) -> dict[str, np.ndarray]:
-        sources: dict[str, np.ndarray] = {}
-        for spec in self.population:
-            allocated = [
-                self.registry.allocate_source(spec.asn) for _ in range(spec.num_sources)
-            ]
-            sources[spec.scanner_id] = np.asarray(allocated, dtype=np.uint32)
-        return sources
+        return {
+            spec.scanner_id: self.registry.allocate_sources(spec.asn, spec.num_sources)
+            for spec in self.population
+        }
 
     # ------------------------------------------------------------------
     # phase 2: crawl
@@ -135,16 +163,28 @@ class Simulator:
         experiment = self.deployment.leak_experiment
         if experiment is not None:
             self._configure_leak_blocking(engines, experiment)
-        experiment_ips = set(experiment.all_ips) if experiment is not None else set()
+        # Membership is a property of the vantage, not the engine: compute
+        # the experiment crawl time once per vantage instead of re-scanning
+        # the experiment IP set per (engine, vantage) pair.
+        if experiment is not None:
+            experiment_ips = np.sort(np.fromiter(experiment.all_ips, dtype=np.int64))
+        else:
+            experiment_ips = np.empty(0, dtype=np.int64)
+        crawl_times = {}
+        for vantage in self.deployment.honeypots:
+            in_experiment = bool(
+                np.isin(vantage.ips.astype(np.int64), experiment_ips).any()
+            )
+            # Experiment honeypots come online (and leak) at the start
+            # of the window; the rest of the fleet was indexed long ago.
+            crawl_times[vantage.vantage_id] = (
+                self.config.leak_crawl_time if in_experiment else self.config.crawl_time
+            )
         for engine in engines.values():
             for vantage in self.deployment.honeypots:
-                in_experiment = any(int(ip) in experiment_ips for ip in vantage.ips)
-                # Experiment honeypots come online (and leak) at the start
-                # of the window; the rest of the fleet was indexed long ago.
-                crawl_time = (
-                    self.config.leak_crawl_time if in_experiment else self.config.crawl_time
+                engine.crawl_vantage(
+                    vantage, crawl_times[vantage.vantage_id], IANA_ASSIGNMENTS
                 )
-                engine.crawl_vantage(vantage, crawl_time, IANA_ASSIGNMENTS)
             if self.deployment.telescope is not None:
                 engine.crawl_vantage(
                     self.deployment.telescope, self.config.crawl_time, IANA_ASSIGNMENTS
@@ -190,6 +230,8 @@ class Simulator:
         continents: list[np.ndarray] = []
         networks: list[np.ndarray] = []
         vantage_of_index: list[Optional[VantagePoint]] = []
+        port_vantages: list[VantagePoint] = []
+        position_runs: list[np.ndarray] = []
 
         for vantage in self.deployment.honeypots:
             if not vantage.stack.observes(port):
@@ -201,6 +243,8 @@ class Simulator:
             continents.append(np.full(count, vantage.continent, dtype=object))
             networks.append(np.full(count, vantage.network, dtype=object))
             vantage_of_index.extend([vantage] * count)
+            position_runs.append(np.full(count, len(port_vantages), dtype=np.int32))
+            port_vantages.append(vantage)
 
         telescope = self.deployment.telescope
         if telescope is not None:
@@ -226,6 +270,12 @@ class Simulator:
         self._vantage_of_index[port] = vantage_of_index
         self._honeypot_counts[port] = sum(
             1 for vantage in vantage_of_index if vantage is not None
+        )
+        self._port_vantages[port] = port_vantages
+        self._vantage_positions[port] = (
+            np.concatenate(position_runs)
+            if position_runs
+            else np.empty(0, dtype=np.int32)
         )
         return targets
 
@@ -302,14 +352,31 @@ class Simulator:
         use = spec.search_engine
         if use is None or use.mode != "avoid":
             return weights
-        index = engines[use.engine].index
-        listed = {entry.ip for entry in index.services_on_port(plan.port)}
-        if not listed:
+        listed = self._listed_ips(engines[use.engine], plan.port)
+        if len(listed) == 0:
             return weights
         weights = weights.copy()
-        mask = np.fromiter((int(ip) in listed for ip in targets.ips), dtype=bool, count=len(targets))
+        mask = np.isin(targets.ips.astype(np.int64), listed)
         weights[mask] = 0.0
         return weights
+
+    def _listed_ips(self, engine: SearchEngine, port: int) -> np.ndarray:
+        """Sorted array of IPs the engine lists on ``port`` (cached).
+
+        The index is frozen once the crawl phase finishes, so the cache
+        never goes stale during the attack phase.
+        """
+        key = (engine.name, port)
+        cached = self._listed_ip_cache.get(key)
+        if cached is None:
+            cached = np.unique(
+                np.fromiter(
+                    (entry.ip for entry in engine.index.services_on_port(port)),
+                    dtype=np.int64,
+                )
+            )
+            self._listed_ip_cache[key] = cached
+        return cached
 
     def _apply_honeypot_evasion(
         self, spec: ScannerSpec, plan: PortPlan, weights: np.ndarray
@@ -340,27 +407,76 @@ class Simulator:
         vantage_of_index: list[Optional[VantagePoint]],
         captures: dict[str, VantageCapture],
     ) -> None:
-        hours = float(self.config.window.hours)
-        source_asns = self._source_asns(spec, sources)
         # Telescope destinations occupy the tail of the index space and are
         # handled by the aggregated bulk path; only walk honeypot indices.
         honeypot_count = self._honeypot_counts[plan.port]
-        for index in np.flatnonzero(sessions[:honeypot_count]):
-            vantage = vantage_of_index[index]
-            count = int(sessions[index])
-            dst_ip = int(targets.ips[index])
-            timestamps = plan.temporal.sample_times(rng, count, hours)
+        active = np.flatnonzero(sessions[:honeypot_count])
+        if len(active) == 0:
+            return
+        counts = sessions[active].astype(np.int64)
+        total = int(counts.sum())
+        hours = float(self.config.window.hours)
+        source_asns = self._source_asns(spec, sources)
+
+        # Fixed columnar draw order: per-destination timestamps first,
+        # then source picks for every session, then the plan's batch
+        # draws (payload/credential/command choices) inside
+        # ``build_intent_batch``.  Destinations are visited in target-set
+        # index order, so the stream is identical in both emission modes.
+        timestamps = plan.temporal.sample_times_grouped(rng, counts, hours)
+        source_indices = rng.integers(len(sources), size=total)
+        dst_index = np.repeat(active, counts)
+        batch = plan.build_intent_batch(
+            rng,
+            timestamps=timestamps,
+            src_ips=np.asarray(sources, dtype=np.int64)[source_indices],
+            dst_ips=targets.ips[dst_index].astype(np.int64),
+            dst_regions=targets.regions[dst_index],
+        )
+        batch_asns = source_asns[source_indices]
+
+        # Dispatch contiguous per-vantage runs (vantages occupy contiguous
+        # index ranges, so sorting is unnecessary).  Capture columns are
+        # computed once per distinct stack *policy* — every GreyNoise
+        # sensor on a non-Cowrie port shares one column set, etc. — and
+        # each vantage's table appends a zero-copy [start, stop) view.
+        positions = self._vantage_positions[plan.port][dst_index]
+        boundaries = np.flatnonzero(np.diff(positions)) + 1
+        starts = np.concatenate(([0], boundaries))
+        stops = np.concatenate((boundaries, [total]))
+        vantages = self._port_vantages[plan.port]
+        scalar = self.config.emission == "scalar"
+        port = plan.port
+        shared_columns: dict[tuple, dict] = {}
+        for start, stop in zip(starts.tolist(), stops.tolist()):
+            vantage = vantages[int(positions[start])]
             capture = captures[vantage.vantage_id]
-            for timestamp in timestamps:
-                source_index = int(rng.integers(len(sources)))
-                intent = plan.build_intent(
-                    rng,
-                    float(timestamp),
-                    int(sources[source_index]),
-                    dst_ip,
-                    dst_region=vantage.region_code,
-                )
-                capture.record(intent, int(source_asns[source_index]))
+            if scalar:
+                self._dispatch(capture, batch.slice(start, stop), batch_asns[start:stop], True)
+                continue
+            key = vantage.stack.batch_policy_key(port)
+            if key is None:
+                capture.record_batch(batch.slice(start, stop), batch_asns[start:stop])
+                continue
+            columns = shared_columns.get(key)
+            if columns is None:
+                columns = vantage.stack.capture_batch_columns(batch, batch_asns)
+                shared_columns[key] = columns
+            capture.table.append_view(columns, start, stop)
+
+    @staticmethod
+    def _dispatch(
+        capture: VantageCapture,
+        batch,
+        src_asns: np.ndarray,
+        scalar: bool,
+    ) -> None:
+        """Feed one per-vantage batch through the configured capture path."""
+        if scalar:
+            for offset, intent in enumerate(batch.intents()):
+                capture.record(intent, int(src_asns[offset]))
+        else:
+            capture.record_batch(batch, src_asns)
 
     def _emit_telescope_sessions(
         self,
@@ -410,39 +526,93 @@ class Simulator:
         boosted_plan = self._boost_credentials(plan, use.unique_credential_boost)
         # One discovery roll per indexed *IP*: take the entry giving this
         # campaign's port the best selection probability so that an IP
-        # indexed on many ports is not multiply counted.
-        best: dict[int, tuple[float, float]] = {}
-        for entry in engine.index.entries():
-            probability = use.selection_probability(
-                entry.first_indexed, port_match=entry.port == plan.port
-            )
-            visible_from = max(entry.first_indexed, 0.0)
-            current = best.get(entry.ip)
-            if current is None or probability > current[0]:
-                best[entry.ip] = (probability, visible_from)
-        for ip, (probability, visible_from) in best.items():
-            vantage = vantage_by_ip.get(ip)
-            if vantage is None:
-                continue  # telescope IPs never respond, never indexed anyway
-            if rng.random() >= probability:
-                continue
-            discovery = visible_from + rng.exponential(12.0)
-            if discovery >= hours:
-                continue
-            count = 1 + rng.poisson(use.spike_sessions)
-            limit = min(discovery + use.spike_hours, hours)
-            timestamps = rng.uniform(discovery, limit, size=count)
+        # indexed on many ports is not multiply counted (ties keep the
+        # earliest-indexed entry).  Candidates are processed in ascending
+        # IP order — part of the documented draw order.
+        entry_ips, entry_ports, first_indexed = self._engine_entries(engine)
+        if len(entry_ips) == 0:
+            return
+        probabilities = use.selection_probabilities(
+            first_indexed, entry_ports == plan.port
+        )
+        order = np.lexsort((np.arange(len(entry_ips)), -probabilities, entry_ips))
+        candidate_ips, first_of_ip = np.unique(entry_ips[order], return_index=True)
+        chosen = order[first_of_ip]
+        probabilities = probabilities[chosen]
+        visible_from = np.maximum(first_indexed[chosen], 0.0)
+
+        # Telescope IPs never respond, so they are never indexed as
+        # honeypot candidates; drop any IP without a vantage.
+        candidate_vantages = [vantage_by_ip.get(int(ip)) for ip in candidate_ips]
+        backed = np.fromiter(
+            (vantage is not None for vantage in candidate_vantages),
+            dtype=bool,
+            count=len(candidate_vantages),
+        )
+        if not backed.all():
+            keep = np.flatnonzero(backed)
+            candidate_ips = candidate_ips[keep]
+            probabilities = probabilities[keep]
+            visible_from = visible_from[keep]
+            candidate_vantages = [candidate_vantages[int(k)] for k in keep]
+        if len(candidate_ips) == 0:
+            return
+
+        # Vectorized draw order: discovery rolls for every candidate,
+        # exponential discovery delays for the selected ones, per-spike
+        # session counts, then one uniform block for all timestamps.
+        selected = np.flatnonzero(rng.random(len(candidate_ips)) < probabilities)
+        if len(selected) == 0:
+            return
+        discovery = visible_from[selected] + rng.exponential(12.0, size=len(selected))
+        within = np.flatnonzero(discovery < hours)
+        if len(within) == 0:
+            return
+        selected = selected[within]
+        discovery = discovery[within]
+        counts = 1 + rng.poisson(use.spike_sessions, size=len(selected))
+        total = int(counts.sum())
+        limits = np.minimum(discovery + use.spike_hours, hours)
+        lows = np.repeat(discovery, counts)
+        spans = np.repeat(limits - discovery, counts)
+        timestamps = lows + rng.random(total) * spans
+        source_indices = rng.integers(len(sources), size=total)
+        batch = boosted_plan.build_intent_batch(
+            rng,
+            timestamps=timestamps,
+            src_ips=np.asarray(sources, dtype=np.int64)[source_indices],
+            dst_ips=np.repeat(candidate_ips[selected].astype(np.int64), counts),
+            dst_regions=np.repeat(
+                np.array(
+                    [candidate_vantages[int(i)].region_code for i in selected],
+                    dtype=object,
+                ),
+                counts,
+            ),
+        )
+        batch_asns = source_asns[source_indices]
+        scalar = self.config.emission == "scalar"
+        stops = np.cumsum(counts)
+        starts = stops - counts
+        for position, (start, stop) in enumerate(zip(starts.tolist(), stops.tolist())):
+            vantage = candidate_vantages[int(selected[position])]
             capture = captures[vantage.vantage_id]
-            for timestamp in timestamps:
-                source_index = int(rng.integers(len(sources)))
-                intent = boosted_plan.build_intent(
-                    rng,
-                    float(timestamp),
-                    int(sources[source_index]),
-                    ip,
-                    dst_region=vantage.region_code,
-                )
-                capture.record(intent, int(source_asns[source_index]))
+            self._dispatch(capture, batch.slice(start, stop), batch_asns[start:stop], scalar)
+
+    def _engine_entries(
+        self, engine: SearchEngine
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Columnar (ips, ports, first_indexed) view of an index (cached)."""
+        cached = self._engine_entry_cache.get(engine.name)
+        if cached is None:
+            entries = list(engine.index.entries())
+            ips = np.fromiter((entry.ip for entry in entries), dtype=np.int64, count=len(entries))
+            ports = np.fromiter((entry.port for entry in entries), dtype=np.int64, count=len(entries))
+            first = np.fromiter(
+                (entry.first_indexed for entry in entries), dtype=np.float64, count=len(entries)
+            )
+            self._engine_entry_cache[engine.name] = cached = (ips, ports, first)
+        return cached
 
     # ------------------------------------------------------------------
     # helpers
@@ -453,15 +623,13 @@ class Simulator:
         return np.full(len(sources), spec.asn, dtype=np.int64)
 
     def _honeypot_by_ip(self) -> dict[int, VantagePoint]:
-        cached = getattr(self, "_honeypot_ip_cache", None)
-        if cached is None:
-            cached = {
+        if self._honeypot_ip_cache is None:
+            self._honeypot_ip_cache = {
                 int(ip): vantage
                 for vantage in self.deployment.honeypots
                 for ip in vantage.ips
             }
-            self._honeypot_ip_cache = cached
-        return cached
+        return self._honeypot_ip_cache
 
     @staticmethod
     def _boost_credentials(plan: PortPlan, boost: float) -> PortPlan:

@@ -19,10 +19,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
 
 from repro.net.packets import Transport
 
-__all__ = ["NetworkKind", "ScanIntent", "CapturedEvent", "Credential"]
+__all__ = ["NetworkKind", "ScanIntent", "CapturedEvent", "Credential", "IntentBatch"]
 
 
 class NetworkKind(str, enum.Enum):
@@ -75,6 +78,78 @@ class ScanIntent:
             raise ValueError("timestamp must be non-negative")
         if not 0 <= self.dst_port <= 65535:
             raise ValueError(f"invalid dst_port {self.dst_port}")
+
+
+@dataclass(frozen=True)
+class IntentBatch:
+    """A columnar block of scan intents sharing one (campaign, port) plan.
+
+    This is the batch-first counterpart of :class:`ScanIntent`:
+    ``dst_port``, ``transport``, and ``protocol`` are constant across the
+    batch (they come from one :class:`~repro.scanners.base.PortPlan`);
+    everything per-session lives in parallel arrays.  ``credentials``
+    holds tuples of plain ``(username, password)`` pairs — the wire-level
+    representation capture stacks record — and :meth:`intents` wraps them
+    back into :class:`Credential` objects when materializing rows for the
+    scalar capture path.
+    """
+
+    dst_port: int
+    transport: Transport
+    protocol: str
+    timestamps: np.ndarray  # float64, hours into the window
+    src_ips: np.ndarray  # int64
+    dst_ips: np.ndarray  # int64
+    payloads: np.ndarray  # object: bytes
+    credentials: np.ndarray  # object: tuple[tuple[str, str], ...]
+    commands: np.ndarray  # object: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def slice(self, start: int, stop: int) -> "IntentBatch":
+        """A contiguous zero-copy sub-batch (views, not copies)."""
+        return IntentBatch(
+            dst_port=self.dst_port,
+            transport=self.transport,
+            protocol=self.protocol,
+            timestamps=self.timestamps[start:stop],
+            src_ips=self.src_ips[start:stop],
+            dst_ips=self.dst_ips[start:stop],
+            payloads=self.payloads[start:stop],
+            credentials=self.credentials[start:stop],
+            commands=self.commands[start:stop],
+        )
+
+    def take(self, indices: np.ndarray) -> "IntentBatch":
+        """A sub-batch selected by an index array."""
+        return IntentBatch(
+            dst_port=self.dst_port,
+            transport=self.transport,
+            protocol=self.protocol,
+            timestamps=self.timestamps[indices],
+            src_ips=self.src_ips[indices],
+            dst_ips=self.dst_ips[indices],
+            payloads=self.payloads[indices],
+            credentials=self.credentials[indices],
+            commands=self.commands[indices],
+        )
+
+    def intents(self) -> Iterator[ScanIntent]:
+        """Materialize row-level intents (the scalar emission fallback)."""
+        for index in range(len(self.timestamps)):
+            pairs = self.credentials[index]
+            yield ScanIntent(
+                timestamp=float(self.timestamps[index]),
+                src_ip=int(self.src_ips[index]),
+                dst_ip=int(self.dst_ips[index]),
+                dst_port=self.dst_port,
+                transport=self.transport,
+                protocol=self.protocol,
+                payload=self.payloads[index],
+                credentials=tuple(Credential(*pair) for pair in pairs),
+                commands=self.commands[index],
+            )
 
 
 @dataclass(frozen=True, slots=True)

@@ -37,7 +37,10 @@ def hourly_volumes(timestamps: Iterable[float], hours: int) -> np.ndarray:
     """Bin event timestamps (fractional hours) into per-hour counts."""
     if hours <= 0:
         raise ValueError("hours must be positive")
-    array = np.fromiter((float(t) for t in timestamps), dtype=np.float64)
+    if isinstance(timestamps, np.ndarray):
+        array = timestamps.astype(np.float64, copy=False)
+    else:
+        array = np.fromiter((float(t) for t in timestamps), dtype=np.float64)
     counts, _edges = np.histogram(array, bins=hours, range=(0.0, float(hours)))
     return counts.astype(np.float64)
 
