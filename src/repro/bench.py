@@ -70,6 +70,7 @@ def run_bench(
     year: int = 2021,
     emission: str = "batch",
     experiments: Optional[Sequence[str]] = None,
+    orchestrate_workers: Optional[Sequence[int]] = None,
     artifact: Optional[str] = None,
     quiet: bool = False,
 ) -> dict:
@@ -77,6 +78,12 @@ def run_bench(
 
     ``experiments=None`` times every experiment that runs on ``year``'s
     population; pass an explicit list (possibly empty) to restrict it.
+    ``orchestrate_workers`` additionally times a full orchestrated
+    collection (simulate → spill → merge, no analysis) at each worker
+    count into the record's ``"orchestrate"`` mapping, so the sharded
+    runner's speedup trajectory is tracked alongside the single-process
+    pipeline.  ``None`` or an empty sequence skips those runs (the CLI
+    defaults to ``1 2 4``).
     """
     from repro.analysis.dataset import AnalysisDataset
     from repro.cli import EXPERIMENT_YEARS
@@ -146,6 +153,28 @@ def run_bench(
         experiment_timings[experiment_id] = time.perf_counter() - started
         _say(f"{experiment_id} analyzed in {experiment_timings[experiment_id]:.2f}s")
 
+    orchestrate_timings: dict[str, float] = {}
+    orchestrate_shards: dict[str, int] = {}
+    if orchestrate_workers:
+        import shutil
+        import tempfile
+
+        from repro.runner import orchestrate
+
+        for workers in orchestrate_workers:
+            out_dir = tempfile.mkdtemp(prefix=f"cw-bench-orch-{workers}w-")
+            try:
+                started = time.perf_counter()
+                run = orchestrate(
+                    config, workers=workers, out_dir=out_dir, quiet=True
+                )
+                orchestrate_timings[str(workers)] = time.perf_counter() - started
+                orchestrate_shards[str(workers)] = run.stats.num_shards
+            finally:
+                shutil.rmtree(out_dir, ignore_errors=True)
+            _say(f"orchestrate --workers {workers} ran in "
+                 f"{orchestrate_timings[str(workers)]:.2f}s")
+
     record = {
         "timestamp": _timestamp(),
         "kind": "bench",
@@ -161,6 +190,12 @@ def run_bench(
             name: round(value, 4) for name, value in experiment_timings.items()
         },
     }
+    if orchestrate_timings:
+        record["orchestrate"] = {
+            workers: round(value, 4)
+            for workers, value in orchestrate_timings.items()
+        }
+        record["orchestrate_shards"] = orchestrate_shards
     written = append_record(record, artifact)
     _say(
         f"build total {record['stages_total']:.2f}s, "
@@ -184,6 +219,10 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="event-emission mode to benchmark (default batch)")
     parser.add_argument("--experiments", nargs="*", default=None, metavar="ID",
                         help="experiment ids to time (default: all for the year)")
+    parser.add_argument("--orchestrate-workers", nargs="*", type=int, default=(),
+                        metavar="N",
+                        help="worker counts to time the orchestrator at "
+                             "(default: skip; the CLI bench uses 1 2 4)")
     parser.add_argument("--output", default=None, metavar="BENCH.json",
                         help=f"artifact path (default ${ARTIFACT_ENV} or {DEFAULT_ARTIFACT})")
     args = parser.parse_args(argv)
@@ -195,6 +234,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             year=args.year,
             emission=args.emission,
             experiments=args.experiments,
+            orchestrate_workers=tuple(args.orchestrate_workers),
             artifact=args.output,
         )
     except ValueError as error:

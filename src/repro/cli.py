@@ -6,12 +6,14 @@ Subcommands::
     cloudwatching run T8 T9 --scale 0.5     # regenerate paper tables
     cloudwatching run all
     cloudwatching simulate out.ndjson.gz    # write a dataset release
+    cloudwatching orchestrate --workers 4 --out runs/full --resume
     cloudwatching serve --port 8080=http --port 2323=telnet --duration 30
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -47,6 +49,28 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--year", type=int, default=2021, choices=(2020, 2021, 2022))
     _add_sim_args(simulate)
 
+    orchestrate = subparsers.add_parser(
+        "orchestrate",
+        help="sharded parallel run: simulate on worker processes, spill "
+             "shards, merge, and run cached experiments",
+    )
+    orchestrate.add_argument("--workers", type=int, default=2,
+                             help="worker processes (default 2)")
+    orchestrate.add_argument("--out", default="orchestrate-out", metavar="DIR",
+                             help="run directory for shards, cache, and run.json")
+    orchestrate.add_argument("--shards", type=int, default=None,
+                             help="shard count (default: --workers)")
+    orchestrate.add_argument("--resume", action="store_true",
+                             help="skip shards whose manifests verify complete")
+    orchestrate.add_argument("--max-retries", type=int, default=2,
+                             help="per-shard retry budget before degrading "
+                                  "to partial coverage (default 2)")
+    orchestrate.add_argument("--experiments", nargs="*", default=None, metavar="ID",
+                             help="experiment ids to schedule (default: all "
+                                  "for the year; pass none to skip analysis)")
+    orchestrate.add_argument("--year", type=int, default=2021, choices=(2020, 2021, 2022))
+    _add_sim_args(orchestrate)
+
     bench = subparsers.add_parser(
         "bench", help="time the simulate→analyze pipeline, append BENCH_simulation.json"
     )
@@ -58,6 +82,10 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--year", type=int, default=2021, choices=(2020, 2021, 2022))
     bench.add_argument("--emission", default="batch", choices=("batch", "scalar"),
                        help="event-emission mode to benchmark (default batch)")
+    bench.add_argument("--orchestrate-workers", nargs="*", type=int,
+                       default=(1, 2, 4), metavar="N",
+                       help="worker counts to time the orchestrator at "
+                            "(default: 1 2 4; pass no values to skip)")
     bench.add_argument("--output", default=None, metavar="BENCH.json",
                        help="artifact path (default BENCH_simulation.json)")
 
@@ -81,9 +109,21 @@ def _add_sim_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=20230701)
 
 
+def _experiment_description(driver) -> str:
+    """One-line description of a driver: its docstring's first line, or
+    the first line of its module docstring when the function has none."""
+    doc = driver.__doc__
+    if not doc:
+        module = inspect.getmodule(driver)
+        doc = module.__doc__ if module is not None else None
+    if not doc:
+        return ""
+    return doc.strip().splitlines()[0].strip()
+
+
 def _command_list() -> int:
-    for experiment_id in ALL_EXPERIMENTS:
-        print(experiment_id)
+    for experiment_id, driver in ALL_EXPERIMENTS.items():
+        print(f"{experiment_id:<4} {_experiment_description(driver)}".rstrip())
     return 0
 
 
@@ -126,6 +166,41 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_orchestrate(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentConfig
+    from repro.runner import orchestrate, run_experiments
+
+    config = ExperimentConfig(year=args.year, scale=args.scale,
+                              telescope_slash24s=args.telescope, seed=args.seed)
+    run = orchestrate(
+        config,
+        workers=args.workers,
+        out_dir=args.out,
+        num_shards=args.shards,
+        resume=args.resume,
+        max_retries=args.max_retries,
+    )
+    if run.partial:
+        print(f"WARNING: partial coverage ({run.coverage():.0%}); "
+              f"missing shards: {sorted(run.failures)}", file=sys.stderr)
+
+    experiment_ids = args.experiments  # None = all for the year; [] = skip
+    if experiment_ids is None or experiment_ids:
+        scheduled = run_experiments(
+            run.context,
+            run.dataset_digest,
+            experiment_ids=experiment_ids,
+            cache_dir=run.out_dir / "cache",
+            workers=args.workers,
+            say=lambda message: print(message, flush=True),
+        )
+        for item in scheduled:
+            marker = " [cached]" if item.cached else ""
+            print(item.output.render())
+            print(f"[{item.experiment_id}{marker}]\n")
+    return 0
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     from repro.bench import run_bench
 
@@ -135,6 +210,7 @@ def _command_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         year=args.year,
         emission=args.emission,
+        orchestrate_workers=tuple(args.orchestrate_workers),
         artifact=args.output,
     )
     return 0
@@ -196,6 +272,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_run(args)
     if args.command == "simulate":
         return _command_simulate(args)
+    if args.command == "orchestrate":
+        return _command_orchestrate(args)
     if args.command == "bench":
         return _command_bench(args)
     if args.command == "serve":

@@ -1,0 +1,328 @@
+"""On-disk shard format for orchestrated simulation runs.
+
+One shard holds everything a worker process captured for its contiguous
+slice of the scanner population: per-vantage event columns, the shard's
+telescope aggregate, and a manifest describing exactly what was run.
+
+A shard directory contains three files::
+
+    shard-0003/
+        columns.npz      # numeric columns + object-pool index columns
+        objects.ndjson   # per-vantage object pools + telescope counters
+        manifest.json    # written last; its presence marks completion
+
+* **columns.npz** stores the seven numeric :class:`~repro.io.table.EventTable`
+  columns per vantage under ``"<vantage_id>|<column>"`` keys, plus an
+  ``int32`` pool-index column per object column
+  (``"<vantage_id>|<column>.idx"``) and the telescope's per-destination
+  distinct-source arrays (``"__telescope__|dst_unique|<port>"``).
+* **objects.ndjson** stores, per vantage, the deduplicated *pools* the
+  index columns point into (payload bytes base64-encoded, credential
+  pair sequences, command sequences).  Payloads repeat massively across
+  sessions, so pooling keeps the JSON a small fraction of the column
+  data.  Telescope per-source hit counters and IP→AS attribution ride
+  along as dedicated records.
+* **manifest.json** records the run-configuration digest, the shard's
+  population slice, the RNG stream ids the worker consumed, per-vantage
+  event counts, and the SHA-256 of the two data files.  It is written
+  last (via rename), so a manifest's presence — with matching digests —
+  is the checkpoint/resume layer's definition of "shard complete".
+
+The round-trip is bit-exact: numeric columns travel as raw numpy dtypes
+and object values are restored to the same ``bytes``/``tuple`` shapes
+the capture pipeline produces, so a merged run is indistinguishable from
+a single-process run at the same seed.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+from collections import Counter
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+import numpy as np
+
+from repro.honeypots.telescope import TelescopeCapture
+from repro.io.table import EventTable
+from repro.sim.events import NetworkKind
+
+__all__ = [
+    "SHARD_FORMAT",
+    "shard_dir_name",
+    "write_shard",
+    "read_manifest",
+    "verify_shard",
+    "load_shard_tables",
+    "merge_telescope_shard",
+    "file_sha256",
+]
+
+#: Format identifier embedded in every manifest and NDJSON header.
+SHARD_FORMAT = "cloudwatching-shard/1"
+
+_COLUMNS_FILE = "columns.npz"
+_OBJECTS_FILE = "objects.ndjson"
+_MANIFEST_FILE = "manifest.json"
+
+_NUMERIC = ("timestamps", "src_ip", "src_asn", "dst_ip", "dst_port",
+            "transport_code", "handshake")
+_OBJECT = ("payload", "credentials", "commands")
+
+
+def shard_dir_name(shard_index: int) -> str:
+    return f"shard-{shard_index:04d}"
+
+
+def file_sha256(path: Union[str, Path]) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# object-pool encoding
+# ----------------------------------------------------------------------
+
+def _pool_column(column: np.ndarray) -> tuple[list, np.ndarray]:
+    """Deduplicate an object column into (pool, int32 index array)."""
+    pool: dict = {}
+    indices = np.empty(len(column), dtype=np.int32)
+    for row, value in enumerate(column):
+        slot = pool.get(value)
+        if slot is None:
+            slot = len(pool)
+            pool[value] = slot
+        indices[row] = slot
+    return list(pool), indices
+
+
+def _encode_pool(name: str, pool: list) -> list:
+    if name == "payload":
+        return [base64.b64encode(value).decode("ascii") for value in pool]
+    if name == "credentials":
+        return [[[username, password] for username, password in pairs] for pairs in pool]
+    return [list(commands) for commands in pool]
+
+
+def _decode_pool(name: str, encoded: list) -> np.ndarray:
+    if name == "payload":
+        values = [base64.b64decode(item) if item else b"" for item in encoded]
+    elif name == "credentials":
+        values = [tuple((username, password) for username, password in pairs)
+                  for pairs in encoded]
+    else:
+        values = [tuple(commands) for commands in encoded]
+    pool = np.empty(len(values), dtype=object)
+    pool[:] = values
+    return pool
+
+
+# ----------------------------------------------------------------------
+# writing
+# ----------------------------------------------------------------------
+
+def write_shard(
+    directory: Union[str, Path],
+    tables: Mapping[str, EventTable],
+    telescope: Optional[TelescopeCapture],
+    manifest_extra: dict,
+) -> dict:
+    """Spill one worker's capture to ``directory``; returns the manifest.
+
+    ``manifest_extra`` carries the orchestration fields (config digest,
+    shard/population slice, RNG stream ids); this function adds the
+    format version, event counts, and data-file digests, and writes the
+    manifest *last* so completion is atomic.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    arrays: dict[str, np.ndarray] = {}
+    object_records: list[dict] = []
+    per_vantage_counts: dict[str, int] = {}
+    for vantage_id in sorted(tables):
+        table = tables[vantage_id]
+        if len(table) == 0:
+            continue
+        per_vantage_counts[vantage_id] = len(table)
+        for name in _NUMERIC:
+            arrays[f"{vantage_id}|{name}"] = getattr(table, name)
+        record = {
+            "vantage_id": vantage_id,
+            "network": table.network,
+            "kind": table.network_kind.value,
+            "region": table.region,
+            "rows": len(table),
+        }
+        for name, column in (("payload", table.payloads),
+                             ("credentials", table.credentials),
+                             ("commands", table.commands)):
+            pool, indices = _pool_column(column)
+            arrays[f"{vantage_id}|{name}.idx"] = indices
+            record[f"{name}_pool"] = _encode_pool(name, pool)
+        object_records.append(record)
+
+    telescope_summary: dict = {}
+    if telescope is not None:
+        for port in telescope.ports():
+            counter = telescope.port_src_hits[port]
+            object_records.append({
+                "telescope_port": port,
+                "hits": [[int(src), int(hits)] for src, hits in sorted(counter.items())],
+            })
+        object_records.append({
+            "telescope_asn": [[int(src), int(asn)]
+                              for src, asn in sorted(telescope.asn_of_src.items())],
+        })
+        for port, array in sorted(telescope._port_dst_unique.items()):
+            arrays[f"__telescope__|dst_unique|{port}"] = array
+        telescope_summary = {
+            "ports": telescope.ports(),
+            "unique_sources": telescope.total_unique_sources(),
+        }
+
+    columns_path = directory / _COLUMNS_FILE
+    np.savez(columns_path, **arrays)
+    objects_path = directory / _OBJECTS_FILE
+    with open(objects_path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"format": SHARD_FORMAT}) + "\n")
+        for record in object_records:
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    manifest = {
+        "format": SHARD_FORMAT,
+        **manifest_extra,
+        "events": {
+            "total": int(sum(per_vantage_counts.values())),
+            "per_vantage": per_vantage_counts,
+        },
+        "telescope": telescope_summary,
+        "files": {
+            _COLUMNS_FILE: file_sha256(columns_path),
+            _OBJECTS_FILE: file_sha256(objects_path),
+        },
+    }
+    manifest_path = directory / _MANIFEST_FILE
+    scratch = directory / (_MANIFEST_FILE + ".tmp")
+    with open(scratch, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(scratch, manifest_path)
+    return manifest
+
+
+# ----------------------------------------------------------------------
+# reading / verification
+# ----------------------------------------------------------------------
+
+def read_manifest(directory: Union[str, Path]) -> Optional[dict]:
+    """The shard's manifest, or None when absent/unparsable."""
+    path = Path(directory) / _MANIFEST_FILE
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if manifest.get("format") != SHARD_FORMAT:
+        return None
+    return manifest
+
+
+def verify_shard(
+    directory: Union[str, Path],
+    config_digest: str,
+    shard_index: int,
+    num_shards: int,
+    spec_range: tuple[int, int],
+    check_data: bool = True,
+) -> bool:
+    """Whether the shard is complete *for this exact run plan*.
+
+    A manifest from a different configuration, shard layout, or
+    population slice never counts as complete — ``--resume`` only skips
+    work that would be recomputed identically.
+    """
+    manifest = read_manifest(directory)
+    if manifest is None:
+        return False
+    if manifest.get("config_digest") != config_digest:
+        return False
+    if manifest.get("shard_index") != shard_index:
+        return False
+    if manifest.get("num_shards") != num_shards:
+        return False
+    if list(manifest.get("spec_range", ())) != [spec_range[0], spec_range[1]]:
+        return False
+    if check_data:
+        for filename, digest in manifest.get("files", {}).items():
+            path = Path(directory) / filename
+            if not path.exists() or file_sha256(path) != digest:
+                return False
+    return True
+
+
+def load_shard_tables(directory: Union[str, Path]) -> dict[str, EventTable]:
+    """Rebuild the shard's per-vantage :class:`EventTable` objects."""
+    directory = Path(directory)
+    tables: dict[str, EventTable] = {}
+    with np.load(directory / _COLUMNS_FILE) as archive:
+        columns = {key: archive[key] for key in archive.files}
+    with open(directory / _OBJECTS_FILE, "r", encoding="utf-8") as handle:
+        header = json.loads(handle.readline())
+        if header.get("format") != SHARD_FORMAT:
+            raise ValueError(f"unsupported shard format: {header.get('format')!r}")
+        for line in handle:
+            record = json.loads(line)
+            vantage_id = record.get("vantage_id")
+            if vantage_id is None:
+                continue  # telescope records are merged separately
+            table = EventTable(
+                vantage_id,
+                record["network"],
+                NetworkKind(record["kind"]),
+                record["region"],
+            )
+            chunk = {
+                name: columns[f"{vantage_id}|{name}"] for name in _NUMERIC
+            }
+            for name in _OBJECT:
+                pool = _decode_pool(name, record[f"{name}_pool"])
+                chunk[name] = pool[columns[f"{vantage_id}|{name}.idx"]]
+            table.append_view(chunk, 0, record["rows"])
+            tables[vantage_id] = table
+    return tables
+
+
+def merge_telescope_shard(
+    telescope: TelescopeCapture, directory: Union[str, Path]
+) -> None:
+    """Fold one shard's telescope aggregate into ``telescope`` in place.
+
+    All telescope quantities are sums over sources/destinations, so
+    shard merge order does not matter.
+    """
+    directory = Path(directory)
+    with open(directory / _OBJECTS_FILE, "r", encoding="utf-8") as handle:
+        handle.readline()  # format header
+        for line in handle:
+            record = json.loads(line)
+            if "telescope_port" in record:
+                port = int(record["telescope_port"])
+                counter = telescope.port_src_hits.setdefault(port, Counter())
+                for src, hits in record["hits"]:
+                    counter[int(src)] += int(hits)
+            elif "telescope_asn" in record:
+                for src, asn in record["telescope_asn"]:
+                    telescope.asn_of_src[int(src)] = int(asn)
+    with np.load(directory / _COLUMNS_FILE) as archive:
+        for key in archive.files:
+            if not key.startswith("__telescope__|dst_unique|"):
+                continue
+            port = int(key.rsplit("|", 1)[1])
+            telescope.record_destination_sources(port, archive[key])

@@ -122,6 +122,38 @@ class EventTable:
             table.append_event(event)
         return table
 
+    @classmethod
+    def concat(cls, tables: Sequence["EventTable"]) -> "EventTable":
+        """Merge per-shard tables of one vantage, preserving input order.
+
+        The orchestrator's merge layer: shard k's rows land before shard
+        k+1's, so concatenating contiguous-population shards reproduces
+        the single-process row order exactly.  Empty shard tables are
+        legal and contribute nothing.  The merge is zero-copy — chunk
+        references are shared with the inputs, so the inputs must not be
+        appended to afterwards (shard loads never are).
+
+        All tables must agree on the vantage identity fields; the merged
+        table raises ``ValueError`` otherwise (shards of different
+        vantages cannot be one capture).
+        """
+        tables = list(tables)
+        if not tables:
+            raise ValueError("concat needs at least one table")
+        first = tables[0]
+        merged = cls(first.vantage_id, first.network, first.network_kind, first.region)
+        for table in tables:
+            identity = (table.vantage_id, table.network, table.network_kind, table.region)
+            if identity != (first.vantage_id, first.network,
+                            first.network_kind, first.region):
+                raise ValueError(
+                    f"vantage identity mismatch in concat: {identity!r} != "
+                    f"{(first.vantage_id, first.network, first.network_kind, first.region)!r}"
+                )
+            merged._chunks.extend(table._chunks)
+            merged._length += table._length
+        return merged
+
     # ------------------------------------------------------------------
     # appends
     # ------------------------------------------------------------------

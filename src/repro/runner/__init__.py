@@ -1,0 +1,37 @@
+"""Sharded run orchestration: parallel workers, spill, resume, scheduling.
+
+The paper's apparatus is inherently parallel — 48 GreyNoise vantages,
+4 Honeytrap /26s, and a 475K-IP telescope captured concurrently, then 19
+table/figure analyses ran over the one shared dataset.  This package is
+the reproduction's equivalent of that operations layer:
+
+* :mod:`repro.runner.plan` — deterministic contiguous partitioning of the
+  scanner population into shards (same seed + same shard count → same
+  plan everywhere, including inside workers).
+* :mod:`repro.runner.worker` — the per-shard worker entry point: rebuild
+  the deployment/population from the run configuration, simulate only the
+  shard's campaigns, and spill the capture via :mod:`repro.io.shards`.
+* :mod:`repro.runner.orchestrator` — drives N worker processes, skips
+  shards whose manifests prove completion (``--resume``), retries
+  failures a bounded number of times, degrades to partial coverage, and
+  merges the shards back into one :class:`~repro.sim.engine.SimulationResult`
+  that is bit-identical to a single-process run at the same seed.
+* :mod:`repro.runner.scheduler` — runs experiment drivers over the merged
+  dataset on a process pool with a content-addressed result cache keyed
+  on (dataset digest, driver id, params).
+"""
+
+from repro.runner.orchestrator import OrchestratedRun, OrchestratorStats, orchestrate
+from repro.runner.plan import ShardPlan, config_digest, plan_shards
+from repro.runner.scheduler import ScheduledExperiment, run_experiments
+
+__all__ = [
+    "OrchestratedRun",
+    "OrchestratorStats",
+    "orchestrate",
+    "ShardPlan",
+    "config_digest",
+    "plan_shards",
+    "ScheduledExperiment",
+    "run_experiments",
+]

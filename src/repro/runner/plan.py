@@ -1,0 +1,111 @@
+"""Deterministic shard planning for orchestrated runs.
+
+A shard is a **contiguous** slice of the population list.  Contiguity is
+load-bearing: the single-process simulator appends each campaign's
+events to the per-vantage tables in population order, so concatenating
+contiguous shards in index order reproduces the exact single-process row
+order — the property the shard-count-invariance test pins down.
+
+Within that constraint the planner balances shards by an estimated
+per-campaign cost (expected session volume), so a hot campaign does not
+serialize the whole run behind one worker.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.experiments.context import ExperimentConfig
+from repro.scanners.base import ScannerSpec
+
+__all__ = ["ShardPlan", "plan_shards", "config_digest", "spec_cost"]
+
+
+def spec_cost(spec: ScannerSpec) -> float:
+    """Estimated simulation cost of one campaign.
+
+    Session volume scales with the sum of per-port rates (each rate
+    multiplies the destination weight vector) plus a constant per plan
+    for the target-set/weight machinery.
+    """
+    return sum(plan.rate for plan in spec.plans) + 1.0 * len(spec.plans)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One shard: population slice ``[lo, hi)`` plus its plan position."""
+
+    shard_index: int
+    num_shards: int
+    lo: int
+    hi: int
+
+    @property
+    def spec_range(self) -> tuple[int, int]:
+        return (self.lo, self.hi)
+
+    def __len__(self) -> int:
+        return self.hi - self.lo
+
+
+def plan_shards(population: Sequence[ScannerSpec], num_shards: int) -> list[ShardPlan]:
+    """Partition the population into ``num_shards`` contiguous shards.
+
+    Deterministic: the same population and shard count produce the same
+    plan in every process.  Balancing is greedy — each shard takes specs
+    until it reaches the remaining-average cost — which keeps the
+    partition contiguous while smoothing the per-shard load.  Shards may
+    be empty when ``num_shards`` exceeds the population size.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    costs = [spec_cost(spec) for spec in population]
+    total = sum(costs)
+    plans: list[ShardPlan] = []
+    cursor = 0
+    remaining = total
+    for shard_index in range(num_shards):
+        shards_left = num_shards - shard_index
+        # Leave at least one spec per remaining shard while any remain.
+        lo = cursor
+        if shards_left == 1:
+            hi = len(costs)
+        else:
+            target = remaining / shards_left
+            acquired = 0.0
+            hi = lo
+            max_hi = len(costs) - (shards_left - 1)
+            while hi < max_hi and (hi == lo or acquired + costs[hi] / 2.0 <= target):
+                acquired += costs[hi]
+                hi += 1
+            if lo >= len(costs):
+                hi = lo  # population exhausted: empty shard
+        plans.append(ShardPlan(shard_index, num_shards, lo, min(hi, len(costs))))
+        cursor = plans[-1].hi
+        remaining -= sum(costs[lo:plans[-1].hi])
+    assert plans[-1].hi == len(costs) or not costs
+    return plans
+
+
+def config_digest(config: ExperimentConfig, population_size: int) -> str:
+    """Content digest of everything that determines the dataset.
+
+    Two runs with equal digests simulate the identical event stream, so
+    a shard manifest carrying this digest can satisfy ``--resume`` and a
+    merged dataset can key the experiment-result cache.
+    """
+    payload = json.dumps(
+        {
+            "format": "cloudwatching-run/1",
+            "year": config.year,
+            "scale": config.scale,
+            "telescope_slash24s": config.telescope_slash24s,
+            "seed": config.seed,
+            "population_size": population_size,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

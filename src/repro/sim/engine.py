@@ -121,11 +121,27 @@ class Simulator:
         population: Sequence[ScannerSpec],
         config: SimulationConfig | None = None,
         registry: ASRegistry | None = None,
+        spec_slice: Optional[tuple[int, int]] = None,
     ) -> None:
         self.deployment = deployment
         self.population = list(population)
         self.config = config or SimulationConfig()
         self.registry = registry or default_registry()
+        if spec_slice is not None:
+            lo, hi = spec_slice
+            if not 0 <= lo <= hi <= len(self.population):
+                raise ValueError(
+                    f"spec_slice {spec_slice!r} out of range for "
+                    f"{len(self.population)} specs"
+                )
+        #: Half-open ``[lo, hi)`` population slice to simulate (None =
+        #: everything).  Shard workers use this: source allocation still
+        #: covers the *full* population in order — the AS registry's
+        #: allocation cursor is order-dependent — and every per-campaign
+        #: RNG stream is forked by (seed, scanner_id, port), so the slice
+        #: produces exactly the events the full run would produce for
+        #: those campaigns.
+        self.spec_slice = spec_slice
         self.hub = RngHub(self.config.seed)
         self._target_sets: dict[int, TargetSet] = {}
         self._vantage_of_index: dict[int, list[Optional[VantagePoint]]] = {}
@@ -283,9 +299,24 @@ class Simulator:
     # phase 4: traffic
     # ------------------------------------------------------------------
 
-    def run(self) -> SimulationResult:
-        source_ips = self._allocate_sources()
-        engines = self._build_engines()
+    def run(
+        self,
+        source_ips: Optional[dict[str, np.ndarray]] = None,
+        engines: Optional[dict[str, SearchEngine]] = None,
+    ) -> SimulationResult:
+        """Run the simulation, optionally reusing precomputed phase-1/2 state.
+
+        ``source_ips`` and ``engines`` accept the products of
+        :meth:`_allocate_sources` and :meth:`_build_engines` computed by
+        an equivalent simulator (same deployment, population, and
+        config).  Both phases are deterministic, so injecting them is
+        purely an optimization — the orchestrator's forked shard workers
+        inherit them from the parent instead of re-crawling per process.
+        """
+        if source_ips is None:
+            source_ips = self._allocate_sources()
+        if engines is None:
+            engines = self._build_engines()
         captures = {
             vantage.vantage_id: VantageCapture(vantage)
             for vantage in self.deployment.honeypots
@@ -296,7 +327,8 @@ class Simulator:
             else None
         )
 
-        for spec in self.population:
+        lo, hi = self.spec_slice if self.spec_slice is not None else (0, len(self.population))
+        for spec in self.population[lo:hi]:
             self._run_spec(spec, source_ips[spec.scanner_id], engines, captures, telescope_capture)
 
         return SimulationResult(
@@ -661,6 +693,19 @@ def run_simulation(
     population: Sequence[ScannerSpec],
     config: SimulationConfig | None = None,
     registry: ASRegistry | None = None,
+    spec_slice: Optional[tuple[int, int]] = None,
+    source_ips: Optional[dict[str, np.ndarray]] = None,
+    engines: Optional[dict[str, SearchEngine]] = None,
 ) -> SimulationResult:
-    """Convenience wrapper: build a :class:`Simulator` and run it."""
-    return Simulator(deployment, population, config, registry).run()
+    """Convenience wrapper: build a :class:`Simulator` and run it.
+
+    ``spec_slice`` restricts the attack phase to a contiguous population
+    slice (the orchestrator's shard workers use this); deployment, crawl,
+    and source allocation still cover the full population so the slice's
+    events are identical to the corresponding events of a full run.
+    ``source_ips``/``engines`` inject precomputed phase-1/2 state (see
+    :meth:`Simulator.run`).
+    """
+    return Simulator(deployment, population, config, registry, spec_slice).run(
+        source_ips=source_ips, engines=engines
+    )

@@ -14,8 +14,14 @@ from repro.io.records import read_events
 class TestList:
     def test_lists_every_experiment(self, capsys):
         assert main(["list"]) == 0
-        printed = capsys.readouterr().out.split()
-        assert set(printed) == set(ALL_EXPERIMENTS)
+        lines = capsys.readouterr().out.splitlines()
+        printed = {line.split()[0] for line in lines if line.strip()}
+        assert printed == set(ALL_EXPERIMENTS)
+
+    def test_every_line_carries_a_description(self, capsys):
+        assert main(["list"]) == 0
+        lines = [line for line in capsys.readouterr().out.splitlines() if line.strip()]
+        assert all(len(line.split(None, 1)) == 2 for line in lines)
 
 
 class TestRun:

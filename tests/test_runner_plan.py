@@ -1,0 +1,76 @@
+"""Tests for the deterministic shard planner and run-config digests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.context import ExperimentConfig
+from repro.runner.plan import config_digest, plan_shards, spec_cost
+from repro.scanners.population import PopulationConfig, build_population
+
+
+@pytest.fixture(scope="module")
+def population():
+    return build_population(PopulationConfig(year=2021, scale=0.1))
+
+
+@pytest.mark.parametrize("num_shards", [1, 2, 3, 4, 7])
+def test_plan_is_a_contiguous_partition(population, num_shards):
+    plans = plan_shards(population, num_shards)
+    assert len(plans) == num_shards
+    cursor = 0
+    for index, plan in enumerate(plans):
+        assert plan.shard_index == index
+        assert plan.num_shards == num_shards
+        assert plan.lo == cursor and plan.lo <= plan.hi
+        cursor = plan.hi
+    assert cursor == len(population)
+
+
+def test_plan_is_deterministic(population):
+    first = plan_shards(population, 4)
+    second = plan_shards(population, 4)
+    assert first == second
+
+
+def test_plan_balances_by_cost(population):
+    """No shard should dwarf the others under the cost estimate."""
+    plans = plan_shards(population, 4)
+    loads = [
+        sum(spec_cost(spec) for spec in population[plan.lo:plan.hi])
+        for plan in plans
+    ]
+    total = sum(loads)
+    assert all(load < 0.6 * total for load in loads)
+
+
+def test_more_shards_than_specs_yields_empty_shards():
+    population = build_population(PopulationConfig(year=2021, scale=0.1))[:3]
+    plans = plan_shards(population, 5)
+    assert len(plans) == 5
+    assert sum(len(plan) for plan in plans) == 3
+    assert plans[-1].hi == 3
+    assert any(len(plan) == 0 for plan in plans)
+
+
+def test_single_shard_covers_everything(population):
+    (plan,) = plan_shards(population, 1)
+    assert (plan.lo, plan.hi) == (0, len(population))
+
+
+def test_plan_rejects_zero_shards(population):
+    with pytest.raises(ValueError):
+        plan_shards(population, 0)
+
+
+def test_config_digest_distinguishes_runs():
+    base = ExperimentConfig(year=2021, scale=0.25, telescope_slash24s=8, seed=1234)
+    assert config_digest(base, 100) == config_digest(base, 100)
+    assert config_digest(base, 100) != config_digest(base, 101)
+    for other in (
+        ExperimentConfig(year=2020, scale=0.25, telescope_slash24s=8, seed=1234),
+        ExperimentConfig(year=2021, scale=0.5, telescope_slash24s=8, seed=1234),
+        ExperimentConfig(year=2021, scale=0.25, telescope_slash24s=4, seed=1234),
+        ExperimentConfig(year=2021, scale=0.25, telescope_slash24s=8, seed=99),
+    ):
+        assert config_digest(other, 100) != config_digest(base, 100)
