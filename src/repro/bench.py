@@ -23,7 +23,7 @@ import os
 import time
 from typing import Optional, Sequence
 
-__all__ = ["run_bench", "append_record", "DEFAULT_ARTIFACT", "main"]
+__all__ = ["run_bench", "run_stream_bench", "append_record", "DEFAULT_ARTIFACT", "main"]
 
 #: Default JSON artifact, written to the current working directory.
 DEFAULT_ARTIFACT = "BENCH_simulation.json"
@@ -205,6 +205,102 @@ def run_bench(
     return record
 
 
+def run_stream_bench(
+    scale: float = 1.0,
+    telescope_slash24s: int = 16,
+    seed: int = 777,
+    year: int = 2021,
+    chunk_events: int = 4096,
+    sketch_k: int = 64,
+    max_buffered_events: int = 65536,
+    artifact: Optional[str] = None,
+    quiet: bool = False,
+) -> dict:
+    """Benchmark sustained ingest through the streaming subsystem.
+
+    Simulates one window (untapped, so simulation cost is excluded),
+    then streams every vantage's consolidated table through a default
+    :class:`~repro.stream.bus.StreamBus` into a full
+    :class:`~repro.stream.analyzer.StreamAnalyzer` (sketches + HLLs +
+    windows + leak alarm) in ``chunk_events``-row chunks, timing the
+    ingest alone.  The appended record reports events/s, the peak
+    sketch+window state bytes, and the bus's drop/backpressure counters
+    (zero drops expected at the default queue size).
+    """
+    from repro.deployment.fleet import build_full_deployment
+    from repro.experiments.context import _WINDOWS
+    from repro.scanners.population import PopulationConfig, build_population
+    from repro.sim.engine import SimulationConfig, run_simulation
+    from repro.sim.rng import RngHub
+    from repro.stream.analyzer import StreamAnalyzer
+    from repro.stream.bus import StreamBus
+    from repro.stream.watch import stream_table
+
+    def _say(message: str) -> None:
+        if not quiet:
+            print(message, flush=True)
+
+    hub = RngHub(seed)
+    deployment = build_full_deployment(hub, num_telescope_slash24s=telescope_slash24s)
+    population = build_population(PopulationConfig(year=year, scale=scale))
+    started = time.perf_counter()
+    result = run_simulation(
+        deployment, population, SimulationConfig(seed=seed, window=_WINDOWS[year])
+    )
+    simulate_seconds = time.perf_counter() - started
+    tables = result.tables()
+    # Consolidate columns up front so the timed section is pure ingest.
+    for table in tables.values():
+        if len(table):
+            table.timestamps
+    _say(f"simulated {result.total_events():,} events in {simulate_seconds:.2f}s; "
+         f"streaming in {chunk_events}-event chunks ...")
+
+    bus = StreamBus(max_buffered_events=max_buffered_events)
+    analyzer = StreamAnalyzer(
+        hours=_WINDOWS[year].hours,
+        sketch_k=sketch_k,
+        leak_experiment=deployment.leak_experiment,
+    )
+    bus.subscribe(analyzer)
+    started = time.perf_counter()
+    for vantage_id in sorted(tables):
+        stream_table(bus, tables[vantage_id], chunk_events)
+    bus.close()
+    ingest_seconds = time.perf_counter() - started
+
+    events = analyzer.events_consumed
+    record = {
+        "timestamp": _timestamp(),
+        "kind": "stream-bench",
+        "scale": scale,
+        "telescope_slash24s": telescope_slash24s,
+        "seed": seed,
+        "year": year,
+        "sketch_k": sketch_k,
+        "chunk_events": chunk_events,
+        "max_buffered_events": max_buffered_events,
+        "events": events,
+        "chunks": analyzer.chunks_consumed,
+        "vantages": len(analyzer.events_per_vantage),
+        "simulate_seconds": round(simulate_seconds, 4),
+        "ingest_seconds": round(ingest_seconds, 4),
+        "events_per_second": round(events / ingest_seconds, 1) if ingest_seconds else 0.0,
+        "state_bytes": analyzer.state_bytes(),
+        "bus": bus.stats.as_dict(),
+    }
+    written = append_record(record, artifact)
+    _say(
+        f"streamed {events:,} events in {ingest_seconds:.2f}s "
+        f"({record['events_per_second']:,.0f} events/s), "
+        f"state ~{record['state_bytes']:,} B, "
+        f"{bus.stats.dropped_events} dropped / "
+        f"{bus.stats.backpressure_flushes} backpressure flush(es); "
+        f"record appended to {written}"
+    )
+    return record
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="run_bench", description="Time the simulate→analyze pipeline."
@@ -223,20 +319,38 @@ def main(argv: Optional[list[str]] = None) -> int:
                         metavar="N",
                         help="worker counts to time the orchestrator at "
                              "(default: skip; the CLI bench uses 1 2 4)")
+    parser.add_argument("--stream", action="store_true",
+                        help="run the streaming sustained-ingest bench instead "
+                             "of the simulate→analyze bench")
+    parser.add_argument("--chunk-events", type=int, default=4096,
+                        help="stream bench: rows per published chunk (default 4096)")
+    parser.add_argument("--sketch-k", type=int, default=64,
+                        help="stream bench: Space-Saving capacity (default 64)")
     parser.add_argument("--output", default=None, metavar="BENCH.json",
                         help=f"artifact path (default ${ARTIFACT_ENV} or {DEFAULT_ARTIFACT})")
     args = parser.parse_args(argv)
     try:
-        run_bench(
-            scale=args.scale,
-            telescope_slash24s=args.telescope,
-            seed=args.seed,
-            year=args.year,
-            emission=args.emission,
-            experiments=args.experiments,
-            orchestrate_workers=tuple(args.orchestrate_workers),
-            artifact=args.output,
-        )
+        if args.stream:
+            run_stream_bench(
+                scale=args.scale,
+                telescope_slash24s=args.telescope,
+                seed=args.seed,
+                year=args.year,
+                chunk_events=args.chunk_events,
+                sketch_k=args.sketch_k,
+                artifact=args.output,
+            )
+        else:
+            run_bench(
+                scale=args.scale,
+                telescope_slash24s=args.telescope,
+                seed=args.seed,
+                year=args.year,
+                emission=args.emission,
+                experiments=args.experiments,
+                orchestrate_workers=tuple(args.orchestrate_workers),
+                artifact=args.output,
+            )
     except ValueError as error:
         parser.error(str(error))
     return 0

@@ -6,8 +6,11 @@ Subcommands::
     cloudwatching run T8 T9 --scale 0.5     # regenerate paper tables
     cloudwatching run all
     cloudwatching simulate out.ndjson.gz    # write a dataset release
-    cloudwatching orchestrate --workers 4 --out runs/full --resume
+    cloudwatching orchestrate --workers auto --out runs/full --resume
     cloudwatching serve --port 8080=http --port 2323=telnet --duration 30
+    cloudwatching watch --simulate --scale 0.05     # stream a tapped sim
+    cloudwatching watch --run-dir runs/full         # stream spilled shards
+    cloudwatching watch --live --port 2323=telnet   # stream a live fleet
 """
 
 from __future__ import annotations
@@ -54,8 +57,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="sharded parallel run: simulate on worker processes, spill "
              "shards, merge, and run cached experiments",
     )
-    orchestrate.add_argument("--workers", type=int, default=2,
-                             help="worker processes (default 2)")
+    orchestrate.add_argument("--workers", type=_workers_arg, default=2,
+                             help="worker processes: a count or 'auto' "
+                                  "(CPU-derived; default 2)")
     orchestrate.add_argument("--out", default="orchestrate-out", metavar="DIR",
                              help="run directory for shards, cache, and run.json")
     orchestrate.add_argument("--shards", type=int, default=None,
@@ -86,8 +90,55 @@ def _build_parser() -> argparse.ArgumentParser:
                        default=(1, 2, 4), metavar="N",
                        help="worker counts to time the orchestrator at "
                             "(default: 1 2 4; pass no values to skip)")
+    bench.add_argument("--stream", action="store_true",
+                       help="benchmark sustained ingest through the streaming "
+                            "subsystem instead of the simulate→analyze path")
     bench.add_argument("--output", default=None, metavar="BENCH.json",
                        help="artifact path (default BENCH_simulation.json)")
+
+    watch = subparsers.add_parser(
+        "watch",
+        help="attach the streaming pipeline to a source and render "
+             "periodic snapshots (top-k sketches, rates, leak alarms)",
+    )
+    source = watch.add_mutually_exclusive_group()
+    source.add_argument("--simulate", action="store_true",
+                        help="tap a fresh simulation (default source)")
+    source.add_argument("--run-dir", default=None, metavar="DIR",
+                        help="stream a 'cloudwatching orchestrate' output directory")
+    source.add_argument("--live", action="store_true",
+                        help="serve live honeypots on loopback and stream them")
+    watch.add_argument("--year", type=int, default=2021, choices=(2020, 2021, 2022))
+    _add_sim_args(watch)
+    watch.add_argument("--sketch-k", type=int, default=64,
+                       help="Space-Saving capacity per characteristic (default 64)")
+    watch.add_argument("--top-k", type=int, default=3,
+                       help="categories per snapshot table (default 3, the §3.3 k)")
+    watch.add_argument("--snapshot-events", type=int, default=25000,
+                       help="snapshot every N events (0 = final only; default 25000)")
+    watch.add_argument("--max-snapshots", type=int, default=0,
+                       help="stop periodic snapshots after N (0 = unlimited)")
+    watch.add_argument("--chunk-events", type=int, default=4096,
+                       help="rows per chunk when streaming stored tables (default 4096)")
+    watch.add_argument("--queue-events", type=int, default=65536,
+                       help="bus buffer bound in events (default 65536)")
+    watch.add_argument("--policy", default="backpressure",
+                       choices=("backpressure", "drop"),
+                       help="bus overflow policy (default backpressure)")
+    watch.add_argument("--trailing-hours", type=int, default=None,
+                       help="leak-alarm trailing window in sealed hours "
+                            "(default: the full observation window)")
+    watch.add_argument("--follow", type=float, default=0.0, metavar="SECONDS",
+                       help="run-dir source: keep polling for new shards this long")
+    watch.add_argument("--port", action="append", default=[], metavar="PORT=SERVICE",
+                       help="live source: e.g. 8080=http, 2323=telnet (repeatable)")
+    watch.add_argument("--duration", type=float, default=30.0,
+                       help="live source: seconds to serve (default 30)")
+    watch.add_argument("--interval", type=float, default=5.0,
+                       help="live source: seconds between snapshots (default 5)")
+    watch.add_argument("--host", default="127.0.0.1")
+    watch.add_argument("--max-connections", type=int, default=0,
+                       help="live source: concurrent-session cap (0 = unlimited)")
 
     serve = subparsers.add_parser(
         "serve", help="run live honeypots on loopback and print captures"
@@ -99,6 +150,21 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="seconds to serve before exiting (default 30)")
     serve.add_argument("--host", default="127.0.0.1")
     return parser
+
+
+def _workers_arg(text: str):
+    """``--workers`` value: a positive integer or the string 'auto'."""
+    if text == "auto":
+        return "auto"
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError("workers must be >= 1 (or 'auto')")
+    return value
 
 
 def _add_sim_args(parser: argparse.ArgumentParser) -> None:
@@ -202,8 +268,17 @@ def _command_orchestrate(args: argparse.Namespace) -> int:
 
 
 def _command_bench(args: argparse.Namespace) -> int:
-    from repro.bench import run_bench
+    from repro.bench import run_bench, run_stream_bench
 
+    if args.stream:
+        run_stream_bench(
+            scale=args.scale,
+            telescope_slash24s=args.telescope,
+            seed=args.seed,
+            year=args.year,
+            artifact=args.output,
+        )
+        return 0
     run_bench(
         scale=args.scale,
         telescope_slash24s=args.telescope,
@@ -216,13 +291,11 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_serve(args: argparse.Namespace) -> int:
-    import asyncio
-
+def _parse_services(specs: list[str], default: list[str]):
+    """Parse repeated PORT=SERVICE flags into a services dict (or None)."""
     from repro.honeypots.live import (
         FirstPayloadService,
         HttpService,
-        LiveHoneypot,
         SshBannerService,
         TelnetService,
     )
@@ -233,15 +306,69 @@ def _command_serve(args: argparse.Namespace) -> int:
         "ssh": SshBannerService,
         "raw": FirstPayloadService,
     }
-    specs = args.port or ["8080=http", "2323=telnet"]
     services = {}
-    for spec in specs:
+    for spec in specs or default:
         port_text, _, kind = spec.partition("=")
         if kind not in factories:
             print(f"unknown service {kind!r} (choose from {sorted(factories)})",
                   file=sys.stderr)
-            return 2
+            return None
         services[int(port_text)] = factories[kind]()
+    return services
+
+
+def _command_watch(args: argparse.Namespace) -> int:
+    from repro.stream.watch import (
+        WatchOptions,
+        watch_live,
+        watch_run_dir,
+        watch_simulation,
+    )
+
+    options = WatchOptions(
+        sketch_k=args.sketch_k,
+        top_k=args.top_k,
+        chunk_events=args.chunk_events,
+        snapshot_events=args.snapshot_events,
+        max_snapshots=args.max_snapshots,
+        max_buffered_events=args.queue_events,
+        policy=args.policy,
+        trailing_hours=args.trailing_hours,
+    )
+    if args.run_dir:
+        summary = watch_run_dir(args.run_dir, options, follow_seconds=args.follow)
+    elif args.live:
+        services = _parse_services(args.port, ["8080=http", "2323=telnet"])
+        if services is None:
+            return 2
+        summary = watch_live(
+            services,
+            duration=args.duration,
+            interval=args.interval,
+            host=args.host,
+            options=options,
+            honeypot_kwargs={"max_connections": args.max_connections},
+        )
+    else:
+        summary = watch_simulation(
+            ExperimentConfig(year=args.year, scale=args.scale,
+                             telescope_slash24s=args.telescope, seed=args.seed),
+            options,
+        )
+    bus = summary["bus"]
+    print(f"watch done: {summary['events']:,} events in {summary['seconds']:.2f}s "
+          f"({summary['snapshots']} snapshot(s), {bus['dropped_events']} dropped)")
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.honeypots.live import LiveHoneypot
+
+    services = _parse_services(args.port, ["8080=http", "2323=telnet"])
+    if services is None:
+        return 2
 
     async def _serve() -> list:
         honeypot = LiveHoneypot(host=args.host, services=services)
@@ -276,6 +403,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_orchestrate(args)
     if args.command == "bench":
         return _command_bench(args)
+    if args.command == "watch":
+        return _command_watch(args)
     if args.command == "serve":
         return _command_serve(args)
     raise AssertionError("unreachable")

@@ -48,6 +48,13 @@ class ServiceEmulator:
 
     #: Seconds to wait for client data before giving up on a read.
     read_timeout: float = 5.0
+    #: Hard cap on the recorded first payload.  A scanner that streams
+    #: an arbitrarily large body must not grow the capture unboundedly:
+    #: reads stop at this many bytes and the remainder is never buffered.
+    max_payload_bytes: int = 8 * 1024
+    #: Hard cap on one line of a line-oriented conversation; longer
+    #: lines are truncated to this many bytes rather than buffered.
+    max_line_bytes: int = 1024
 
     async def handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -57,8 +64,9 @@ class ServiceEmulator:
         raise NotImplementedError
 
     async def _read_some(self, reader: asyncio.StreamReader) -> bytes:
+        limit = min(self.max_payload_bytes, _READ_LIMIT)
         try:
-            return await asyncio.wait_for(reader.read(_READ_LIMIT), timeout=self.read_timeout)
+            return await asyncio.wait_for(reader.read(limit), timeout=self.read_timeout)
         except asyncio.TimeoutError:
             return b""
 
@@ -116,9 +124,13 @@ class TelnetService(ServiceEmulator):
             line = await asyncio.wait_for(reader.readline(), timeout=self.read_timeout)
         except asyncio.TimeoutError:
             return None
+        except (ValueError, asyncio.LimitOverrunError, asyncio.IncompleteReadError):
+            # A line longer than the stream's buffer limit: drop the
+            # connection's pathological input rather than buffering it.
+            return None
         if not line:
             return None
-        return line.strip(b"\r\n")
+        return line.strip(b"\r\n")[: self.max_line_bytes]
 
     async def _run_shell(self, reader, writer) -> list[str]:
         commands: list[str] = []
@@ -202,6 +214,14 @@ class LiveHoneypot:
     services: dict[int, ServiceEmulator] = field(default_factory=dict)
     asn_lookup: Optional[Callable[[int], int]] = None
     events: list[CapturedEvent] = field(default_factory=list)
+    #: Called with each event as it is recorded (the streaming tap).
+    on_event: Optional[Callable[[CapturedEvent], None]] = None
+    #: Concurrent-session cap across all services (0 = unlimited); a
+    #: connection arriving at the cap is closed immediately and counted
+    #: in :attr:`rejected_connections`.
+    max_connections: int = 0
+    #: StreamReader buffer bound per connection (bytes).
+    read_limit: int = _READ_LIMIT
 
     def __post_init__(self) -> None:
         self._servers: list[asyncio.base_events.Server] = []
@@ -210,6 +230,7 @@ class LiveHoneypot:
         self._active_handlers = 0
         self._idle = asyncio.Event()
         self._idle.set()
+        self.rejected_connections = 0
 
     async def start(self) -> None:
         if self._servers:
@@ -218,7 +239,8 @@ class LiveHoneypot:
         for requested_port, emulator in self.services.items():
             bind_port = max(requested_port, 0)
             server = await asyncio.start_server(
-                self._make_handler(requested_port, emulator), self.host, bind_port
+                self._make_handler(requested_port, emulator), self.host, bind_port,
+                limit=self.read_limit,
             )
             actual_port = server.sockets[0].getsockname()[1]
             self.bound_ports[requested_port] = actual_port
@@ -248,6 +270,14 @@ class LiveHoneypot:
 
     def _make_handler(self, requested_port: int, emulator: ServiceEmulator):
         async def _handler(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+            if self.max_connections and self._active_handlers >= self.max_connections:
+                self.rejected_connections += 1
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+                return
             self._active_handlers += 1
             self._idle.clear()
             peer = writer.get_extra_info("peername") or ("0.0.0.0", 0)
@@ -264,24 +294,25 @@ class LiveHoneypot:
                         await writer.wait_closed()
                     except (ConnectionResetError, BrokenPipeError):
                         pass
-                self.events.append(
-                    CapturedEvent(
-                        vantage_id=self.vantage_id,
-                        network=self.network,
-                        network_kind=self.kind,
-                        region=self.region,
-                        timestamp=self._timestamp_hours(),
-                        src_ip=src_ip,
-                        src_asn=self.asn_lookup(src_ip) if self.asn_lookup else 0,
-                        dst_ip=ip_to_int(sock[0]) if "." in str(sock[0]) else 0,
-                        dst_port=requested_port if requested_port > 0 else sock[1],
-                        transport=Transport.TCP,
-                        handshake=True,
-                        payload=payload,
-                        credentials=credentials,
-                        commands=commands,
-                    )
+                event = CapturedEvent(
+                    vantage_id=self.vantage_id,
+                    network=self.network,
+                    network_kind=self.kind,
+                    region=self.region,
+                    timestamp=self._timestamp_hours(),
+                    src_ip=src_ip,
+                    src_asn=self.asn_lookup(src_ip) if self.asn_lookup else 0,
+                    dst_ip=ip_to_int(sock[0]) if "." in str(sock[0]) else 0,
+                    dst_port=requested_port if requested_port > 0 else sock[1],
+                    transport=Transport.TCP,
+                    handshake=True,
+                    payload=payload,
+                    credentials=credentials,
+                    commands=commands,
                 )
+                self.events.append(event)
+                if self.on_event is not None:
+                    self.on_event(event)
             finally:
                 self._active_handlers -= 1
                 if self._active_handlers == 0:

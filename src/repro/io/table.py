@@ -26,7 +26,7 @@ Design points:
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Sequence, Union
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Union
 
 import numpy as np
 
@@ -98,6 +98,19 @@ class EventTable:
         self._length = 0
         self._columns: Optional[dict[str, np.ndarray]] = None
         self._rows: Optional[list[CapturedEvent]] = None
+        self._hook: Optional[Callable[["EventTable", dict, int, int], None]] = None
+
+    def set_append_hook(
+        self, hook: Optional[Callable[["EventTable", dict, int, int], None]]
+    ) -> None:
+        """Observe every append as ``hook(table, columns, start, stop)``.
+
+        The streaming tap: fires on both the chunked path
+        (:meth:`append_view` / :meth:`append_batch`) and the scalar path
+        (:meth:`append_event`), after the rows are owned by the table.
+        At most one hook; ``None`` detaches.
+        """
+        self._hook = hook
 
     # ------------------------------------------------------------------
     # construction
@@ -179,6 +192,8 @@ class EventTable:
         self._chunks.append((columns, 0, 1))
         self._length += 1
         self._invalidate()
+        if self._hook is not None:
+            self._hook(self, columns, 0, 1)
 
     def append_batch(
         self,
@@ -228,6 +243,8 @@ class EventTable:
         self._chunks.append((columns, start, stop))
         self._length += stop - start
         self._invalidate()
+        if self._hook is not None:
+            self._hook(self, columns, start, stop)
         return stop - start
 
     def extend(self, events: Iterable[CapturedEvent]) -> None:

@@ -21,7 +21,12 @@ the reproduction's equivalent of that operations layer:
   on (dataset digest, driver id, params).
 """
 
-from repro.runner.orchestrator import OrchestratedRun, OrchestratorStats, orchestrate
+from repro.runner.orchestrator import (
+    OrchestratedRun,
+    OrchestratorStats,
+    orchestrate,
+    resolve_workers,
+)
 from repro.runner.plan import ShardPlan, config_digest, plan_shards
 from repro.runner.scheduler import ScheduledExperiment, run_experiments
 
@@ -29,6 +34,7 @@ __all__ = [
     "OrchestratedRun",
     "OrchestratorStats",
     "orchestrate",
+    "resolve_workers",
     "ShardPlan",
     "config_digest",
     "plan_shards",

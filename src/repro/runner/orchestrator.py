@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -46,10 +47,27 @@ from repro.io.table import EventTable
 from repro.runner.plan import ShardPlan, config_digest, plan_shards
 from repro.runner.worker import build_task, run_shard, set_fork_state
 
-__all__ = ["OrchestratorStats", "OrchestratedRun", "orchestrate"]
+__all__ = ["OrchestratorStats", "OrchestratedRun", "orchestrate", "resolve_workers"]
 
 #: Top-level run descriptor written into the output directory.
 RUN_FILE = "run.json"
+
+
+def resolve_workers(workers: Union[int, str]) -> int:
+    """Resolve a worker-count request to a concrete process count.
+
+    ``"auto"`` derives the count from the machine: one process per CPU
+    minus one left for the parent (merge + dispatch), floor 1.  Anything
+    else must be a positive integer and passes through unchanged.
+    """
+    if isinstance(workers, str):
+        if workers != "auto":
+            raise ValueError(f"workers must be a positive int or 'auto', not {workers!r}")
+        return max(1, (os.cpu_count() or 2) - 1)
+    count = int(workers)
+    if count < 1:
+        raise ValueError("workers must be >= 1 (or 'auto')")
+    return count
 
 
 @dataclass
@@ -154,7 +172,7 @@ def _run_pending(
 
 def orchestrate(
     config: Optional[ExperimentConfig] = None,
-    workers: int = 2,
+    workers: Union[int, str] = 2,
     out_dir: Union[str, Path] = "orchestrate-out",
     num_shards: Optional[int] = None,
     resume: bool = False,
@@ -163,9 +181,12 @@ def orchestrate(
 ) -> OrchestratedRun:
     """Run one sharded simulation and merge it into an experiment context.
 
-    ``num_shards`` defaults to ``workers``.  With ``resume``, shards whose
-    manifests verify (config digest, shard layout, data-file hashes) are
-    not re-simulated.  Shards that exhaust their retry budget are dropped
+    ``workers`` is a count or ``"auto"`` (CPU-derived, see
+    :func:`resolve_workers`); the chosen count and the original request
+    are both recorded in ``run.json``.  ``num_shards`` defaults to the
+    resolved worker count.  With ``resume``, shards whose manifests
+    verify (config digest, shard layout, data-file hashes) are not
+    re-simulated.  Shards that exhaust their retry budget are dropped
     from the merge and reported as partial coverage rather than aborting
     the run.
     """
@@ -182,8 +203,10 @@ def orchestrate(
             print(message, flush=True)
 
     config = config or ExperimentConfig()
-    if workers < 1:
-        raise ValueError("workers must be >= 1")
+    workers_requested = workers
+    workers = resolve_workers(workers)
+    if workers_requested == "auto":
+        say(f"workers auto -> {workers} (cpu_count {os.cpu_count()})")
     num_shards = num_shards or workers
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -303,6 +326,7 @@ def orchestrate(
         "dataset_digest": dataset_digest,
         "num_shards": num_shards,
         "workers": workers,
+        "workers_requested": workers_requested,
         "shards": {
             str(plan.shard_index): {
                 "spec_range": list(plan.spec_range),

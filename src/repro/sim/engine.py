@@ -303,6 +303,7 @@ class Simulator:
         self,
         source_ips: Optional[dict[str, np.ndarray]] = None,
         engines: Optional[dict[str, SearchEngine]] = None,
+        tap: Optional[callable] = None,
     ) -> SimulationResult:
         """Run the simulation, optionally reusing precomputed phase-1/2 state.
 
@@ -312,6 +313,13 @@ class Simulator:
         config).  Both phases are deterministic, so injecting them is
         purely an optimization — the orchestrator's forked shard workers
         inherit them from the parent instead of re-crawling per process.
+
+        ``tap`` is an append hook (``tap(table, columns, start, stop)``,
+        see :meth:`repro.io.table.EventTable.set_append_hook`) installed
+        on every honeypot capture table for the duration of the run —
+        the streaming subsystem's engine ingest
+        (``run(tap=bus.table_tap())``).  It observes both emission modes
+        and is detached before the result is returned.
         """
         if source_ips is None:
             source_ips = self._allocate_sources()
@@ -326,10 +334,18 @@ class Simulator:
             if self.deployment.telescope is not None
             else None
         )
+        if tap is not None:
+            for capture in captures.values():
+                capture.table.set_append_hook(tap)
 
-        lo, hi = self.spec_slice if self.spec_slice is not None else (0, len(self.population))
-        for spec in self.population[lo:hi]:
-            self._run_spec(spec, source_ips[spec.scanner_id], engines, captures, telescope_capture)
+        try:
+            lo, hi = self.spec_slice if self.spec_slice is not None else (0, len(self.population))
+            for spec in self.population[lo:hi]:
+                self._run_spec(spec, source_ips[spec.scanner_id], engines, captures, telescope_capture)
+        finally:
+            if tap is not None:
+                for capture in captures.values():
+                    capture.table.set_append_hook(None)
 
         return SimulationResult(
             config=self.config,
@@ -696,6 +712,7 @@ def run_simulation(
     spec_slice: Optional[tuple[int, int]] = None,
     source_ips: Optional[dict[str, np.ndarray]] = None,
     engines: Optional[dict[str, SearchEngine]] = None,
+    tap: Optional[callable] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`Simulator` and run it.
 
@@ -704,8 +721,9 @@ def run_simulation(
     and source allocation still cover the full population so the slice's
     events are identical to the corresponding events of a full run.
     ``source_ips``/``engines`` inject precomputed phase-1/2 state (see
-    :meth:`Simulator.run`).
+    :meth:`Simulator.run`); ``tap`` streams every capture-table append
+    to an observer for the duration of the run.
     """
     return Simulator(deployment, population, config, registry, spec_slice).run(
-        source_ips=source_ips, engines=engines
+        source_ips=source_ips, engines=engines, tap=tap
     )

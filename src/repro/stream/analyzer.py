@@ -1,0 +1,304 @@
+"""The standard bus subscriber: online sketches + windows + alarms.
+
+:class:`StreamAnalyzer` consumes :class:`~repro.stream.bus.StreamChunk`
+objects and maintains, in bounded memory:
+
+* per-vantage Space-Saving sketches for each §3.3 characteristic
+  (source AS, username, password, payload — payloads with ephemeral
+  headers stripped, exactly as the batch ``payload_counter`` does);
+* per-vantage HyperLogLog distinct-source counters;
+* per-vantage tumbling hourly volume windows feeding the existing spike
+  detector;
+* the streaming Table 3 leak alarm, when the fleet carries the Section
+  4.3 experiment.
+
+``snapshot()`` captures the current state as a renderable
+:class:`StreamSnapshot`; ``chi_square(characteristic)`` re-evaluates the
+§3.3 top-k-union comparison on demand without a rescan.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.deployment.fleet import LeakExperiment
+from repro.reporting.tables import render_table
+from repro.scanners.payloads import strip_ephemeral_headers
+from repro.stats.contingency import ChiSquareResult
+from repro.stream.bus import BusStats, StreamChunk
+from repro.stream.sketches import HyperLogLog, StreamingContingency
+from repro.stream.windows import LeakAlarm, StreamingLeakAlarm, TumblingWindows
+
+__all__ = ["CHARACTERISTICS", "StreamAnalyzer", "StreamSnapshot"]
+
+#: The §3.3 characteristics tracked per vantage point.
+CHARACTERISTICS = ("as", "username", "password", "payload")
+
+
+@dataclass
+class StreamSnapshot:
+    """One rendered view of the stream's current state."""
+
+    events: int
+    chunks: int
+    vantages: int
+    sealed_hours: int
+    watermark: float
+    top_categories: dict[str, list[tuple[str, list]]]  # characteristic -> [(vantage, top)]
+    vantage_rows: list[tuple]  # (vantage, events, rate/hr, distinct src, spikes)
+    comparisons: dict[str, ChiSquareResult]
+    leak_alarms: list[LeakAlarm] = field(default_factory=list)
+    bus_stats: Optional[BusStats] = None
+    state_bytes: int = 0
+
+    def render(self, top_vantages: int = 8) -> str:
+        """Plain-text snapshot (what `cloudwatching watch` prints)."""
+        lines = [
+            f"== stream snapshot: {self.events:,} events / {self.chunks:,} chunks "
+            f"from {self.vantages} vantage(s), watermark {self.watermark:.2f}h "
+            f"({self.sealed_hours} sealed hour(s)), state ~{self.state_bytes:,} B =="
+        ]
+        busiest = sorted(self.vantage_rows, key=lambda row: -row[1])[:top_vantages]
+        if busiest:
+            lines.append(render_table(
+                ["vantage", "events", "events/hr", "~distinct src", "spikes"],
+                [(vid, f"{events:,}", f"{rate:.1f}", f"{distinct:.0f}", spikes)
+                 for vid, events, rate, distinct, spikes in busiest],
+                title="per-vantage rates (busiest first)",
+            ))
+        for characteristic, rows in self.top_categories.items():
+            if not rows:
+                continue
+            lines.append(render_table(
+                ["vantage", f"top {characteristic}"],
+                [(vid, ", ".join(_category_label(c) for c in top)) for vid, top in rows],
+                title=f"top categories: {characteristic}",
+            ))
+        if self.comparisons:
+            lines.append(render_table(
+                ["characteristic", "phi", "p", "magnitude", "n"],
+                [(name, f"{result.phi:.3f}", f"{result.p_value:.2e}",
+                  str(result.magnitude), result.sample_size)
+                 if result.valid else (name, "-", "-", "untestable", 0)
+                 for name, result in self.comparisons.items()],
+                title="§3.3 cross-vantage comparisons (top-3 union)",
+            ))
+        if self.leak_alarms:
+            lines.append(render_table(
+                ["service", "group", "fold/hr", "MWU p", "alarm", "spikes"],
+                [(alarm.service, alarm.group, f"{alarm.fold:.1f}",
+                  f"{alarm.mwu_p:.3f}",
+                  "LEAK" if alarm.stochastically_greater else
+                  ("spike" if alarm.distribution_differs else "-"),
+                  f"{alarm.leaked_spikes}/{alarm.control_spikes}")
+                 for alarm in self.leak_alarms],
+                title="leak alarms (vs control)",
+            ))
+        if self.bus_stats is not None:
+            stats = self.bus_stats
+            lines.append(
+                f"bus: {stats.published_events:,} published, "
+                f"{stats.delivered_events:,} delivered, "
+                f"{stats.dropped_events:,} dropped, "
+                f"{stats.backpressure_flushes} backpressure flush(es), "
+                f"high water {stats.queue_high_water:,} events"
+            )
+        return "\n".join(lines)
+
+
+def _category_label(category) -> str:
+    if isinstance(category, bytes):
+        text = category.split(b"\r\n", 1)[0].decode("utf-8", errors="replace")
+        return text[:32] or "<binary>"
+    return str(category)[:32]
+
+
+class StreamAnalyzer:
+    """Bounded-memory online view of a captured-event stream."""
+
+    def __init__(
+        self,
+        hours: int,
+        sketch_k: int = 64,
+        hll_p: int = 12,
+        leak_experiment: Optional[LeakExperiment] = None,
+        characteristics: tuple[str, ...] = CHARACTERISTICS,
+    ) -> None:
+        self.hours = int(hours)
+        self.sketch_k = sketch_k
+        self.hll_p = hll_p
+        self.characteristics = tuple(characteristics)
+        self.contingency: dict[str, StreamingContingency] = {
+            name: StreamingContingency(sketch_k) for name in self.characteristics
+        }
+        self.windows = TumblingWindows(self.hours)
+        self.distinct_sources: dict[str, HyperLogLog] = {}
+        self.events_per_vantage: Counter = Counter()
+        self.leak: Optional[StreamingLeakAlarm] = (
+            StreamingLeakAlarm(leak_experiment, self.hours)
+            if leak_experiment is not None
+            else None
+        )
+        self.events_consumed = 0
+        self.chunks_consumed = 0
+
+    # -- ingest --------------------------------------------------------
+
+    def consume(self, chunk: StreamChunk) -> None:
+        length = len(chunk)
+        if length == 0:
+            return
+        vantage_id = chunk.vantage_id
+        self.chunks_consumed += 1
+        self.events_consumed += length
+        self.events_per_vantage[vantage_id] += length
+
+        timestamps = chunk.resolved("timestamps")
+        self.windows.add(vantage_id, timestamps)
+
+        # source AS counts (pre-aggregated per chunk, then sketched)
+        if "as" in self.contingency:
+            asns = chunk.raw("src_asn")
+            if isinstance(asns, np.ndarray):
+                values, counts = np.unique(
+                    asns[chunk.start:chunk.stop], return_counts=True
+                )
+                self.contingency["as"].update_counts(
+                    vantage_id,
+                    dict(zip((int(v) for v in values), counts.tolist())),
+                )
+            else:
+                self.contingency["as"].update(vantage_id, int(asns), float(length))
+
+        # distinct scanning sources
+        hll = self.distinct_sources.get(vantage_id)
+        if hll is None:
+            hll = self.distinct_sources[vantage_id] = HyperLogLog(self.hll_p)
+        src = chunk.raw("src_ip")
+        if isinstance(src, np.ndarray):
+            hll.add_ints(src[chunk.start:chunk.stop])
+        else:
+            hll.add(int(src))
+
+        # payload / credential characteristics (object columns)
+        if "payload" in self.contingency:
+            counts = self._payload_counts(chunk)
+            if counts:
+                self.contingency["payload"].update_counts(vantage_id, counts)
+        if "username" in self.contingency or "password" in self.contingency:
+            usernames, passwords = self._credential_counts(chunk)
+            if usernames and "username" in self.contingency:
+                self.contingency["username"].update_counts(vantage_id, usernames)
+            if passwords and "password" in self.contingency:
+                self.contingency["password"].update_counts(vantage_id, passwords)
+
+        if self.leak is not None:
+            self.leak.observe(
+                chunk.resolved("dst_ip"),
+                chunk.resolved("dst_port"),
+                chunk.resolved("src_asn"),
+                timestamps,
+            )
+            # Event time advances even when no experiment traffic arrives.
+            self.leak.windows.watermark = max(
+                self.leak.windows.watermark, self.windows.watermark
+            )
+
+    @staticmethod
+    def _payload_counts(chunk: StreamChunk) -> Counter:
+        counts: Counter = Counter()
+        value = chunk.raw("payload")
+        if isinstance(value, np.ndarray):
+            for payload in value[chunk.start:chunk.stop]:
+                if payload:
+                    counts[strip_ephemeral_headers(payload)] += 1
+        elif value:
+            counts[strip_ephemeral_headers(value)] += len(chunk)
+        return counts
+
+    @staticmethod
+    def _credential_counts(chunk: StreamChunk) -> tuple[Counter, Counter]:
+        usernames: Counter = Counter()
+        passwords: Counter = Counter()
+        value = chunk.raw("credentials")
+        if isinstance(value, np.ndarray):
+            for pairs in value[chunk.start:chunk.stop]:
+                for username, password in pairs:
+                    usernames[username] += 1
+                    passwords[password] += 1
+        elif value:
+            for username, password in value:
+                usernames[username] += len(chunk)
+                passwords[password] += len(chunk)
+        return usernames, passwords
+
+    # -- on-demand analysis --------------------------------------------
+
+    def chi_square(self, characteristic: str, k: int = 3) -> ChiSquareResult:
+        """Re-evaluate one §3.3 comparison across vantages, right now."""
+        return self.contingency[characteristic].chi_square(k)
+
+    def top(self, characteristic: str, vantage_id: str, k: int = 3) -> list:
+        return self.contingency[characteristic].top(vantage_id, k)
+
+    def state_bytes(self) -> int:
+        """Approximate resident bytes of all online state."""
+        total = self.windows.state_bytes()
+        total += sum(c.state_bytes() for c in self.contingency.values())
+        total += sum(h.state_bytes() for h in self.distinct_sources.values())
+        if self.leak is not None:
+            total += self.leak.state_bytes()
+        return total
+
+    def snapshot(
+        self,
+        top_k: int = 3,
+        bus_stats: Optional[BusStats] = None,
+        trailing_hours: Optional[int] = None,
+        max_vantages_per_table: int = 6,
+    ) -> StreamSnapshot:
+        """Capture the current online state as a renderable snapshot."""
+        busiest = [vid for vid, _count in self.events_per_vantage.most_common()]
+        vantage_rows = [
+            (
+                vid,
+                int(self.events_per_vantage[vid]),
+                self.windows.rate_per_hour(vid),
+                self.distinct_sources[vid].estimate() if vid in self.distinct_sources else 0.0,
+                self.windows.spikes(vid),
+            )
+            for vid in busiest
+        ]
+        top_categories: dict[str, list[tuple[str, list]]] = {}
+        for name in self.characteristics:
+            contingency = self.contingency[name]
+            rows = []
+            for vid in busiest[:max_vantages_per_table]:
+                top = contingency.top(vid, top_k)
+                if top:
+                    rows.append((vid, top))
+            top_categories[name] = rows
+        comparisons = {
+            name: self.contingency[name].chi_square(top_k)
+            for name in self.characteristics
+            if len(self.contingency[name]) >= 2
+        }
+        return StreamSnapshot(
+            events=self.events_consumed,
+            chunks=self.chunks_consumed,
+            vantages=len(self.events_per_vantage),
+            sealed_hours=self.windows.sealed_hours(),
+            watermark=self.windows.watermark,
+            top_categories=top_categories,
+            vantage_rows=vantage_rows,
+            comparisons=comparisons,
+            leak_alarms=(
+                self.leak.evaluate(trailing_hours) if self.leak is not None else []
+            ),
+            bus_stats=bus_stats,
+            state_bytes=self.state_bytes(),
+        )

@@ -1,0 +1,323 @@
+"""The `cloudwatching watch` service: attach, stream, snapshot.
+
+Three attachment modes, all feeding the same
+:class:`~repro.stream.bus.StreamBus` →
+:class:`~repro.stream.analyzer.StreamAnalyzer` pipeline:
+
+* :func:`watch_simulation` — tap a simulation's columnar emission path
+  while it runs (the CI smoke mode: one process, no sockets, real
+  streaming cadence);
+* :func:`watch_run_dir` — attach to an ``orchestrate`` spill directory
+  and stream completed shards chunk by chunk, optionally *following*
+  the directory while workers are still writing new shards;
+* :func:`watch_live` — attach to a live asyncio honeypot fleet on
+  loopback and snapshot on a wall-clock cadence.
+
+Snapshots render top-k characteristic tables, per-vantage rates and
+distinct-source estimates, spike counts, leak alarms, and the bus's
+drop/backpressure accounting.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.stream.analyzer import StreamAnalyzer
+from repro.stream.bus import StreamBus, StreamChunk
+
+__all__ = ["WatchOptions", "SnapshotPrinter", "watch_simulation",
+           "watch_run_dir", "watch_live", "stream_table"]
+
+
+@dataclass
+class WatchOptions:
+    """Knobs shared by every attachment mode."""
+
+    #: Space-Saving sketch capacity per (vantage, characteristic).
+    sketch_k: int = 64
+    #: Categories shown per table (and the §3.3 union k).
+    top_k: int = 3
+    #: Rows per published chunk when re-chunking stored tables.
+    chunk_events: int = 4096
+    #: Emit a snapshot every N consumed events (0 = only the final one).
+    snapshot_events: int = 25000
+    #: Stop after this many periodic snapshots (0 = unlimited).
+    max_snapshots: int = 0
+    #: Bus buffer bound (events) and overflow policy.
+    max_buffered_events: int = 65536
+    policy: str = "backpressure"
+    #: Trailing window (hours) for leak alarms (None = full window).
+    trailing_hours: Optional[int] = None
+
+
+class SnapshotPrinter:
+    """Bus subscriber that renders snapshots on an event cadence."""
+
+    def __init__(
+        self,
+        analyzer: StreamAnalyzer,
+        bus: StreamBus,
+        options: WatchOptions,
+        say: Callable[[str], None],
+    ) -> None:
+        self.analyzer = analyzer
+        self.bus = bus
+        self.options = options
+        self.say = say
+        self.snapshots_rendered = 0
+        self._next_at = options.snapshot_events or 0
+
+    def consume(self, chunk: StreamChunk) -> None:
+        options = self.options
+        if not options.snapshot_events:
+            return
+        if options.max_snapshots and self.snapshots_rendered >= options.max_snapshots:
+            return
+        if self.analyzer.events_consumed >= self._next_at:
+            self.emit()
+            while self._next_at <= self.analyzer.events_consumed:
+                self._next_at += options.snapshot_events
+
+    def emit(self) -> None:
+        snapshot = self.analyzer.snapshot(
+            top_k=self.options.top_k,
+            bus_stats=self.bus.stats,
+            trailing_hours=self.options.trailing_hours,
+        )
+        self.say(snapshot.render())
+        self.snapshots_rendered += 1
+
+
+def _pipeline(
+    hours: int,
+    options: WatchOptions,
+    say: Callable[[str], None],
+    leak_experiment=None,
+) -> tuple[StreamBus, StreamAnalyzer, SnapshotPrinter]:
+    bus = StreamBus(max_buffered_events=options.max_buffered_events,
+                    policy=options.policy)
+    analyzer = StreamAnalyzer(hours=hours, sketch_k=options.sketch_k,
+                              leak_experiment=leak_experiment)
+    printer = SnapshotPrinter(analyzer, bus, options, say)
+    bus.subscribe(analyzer)
+    bus.subscribe(printer)
+    return bus, analyzer, printer
+
+
+def _summary(bus: StreamBus, analyzer: StreamAnalyzer, printer: SnapshotPrinter,
+             seconds: float) -> dict:
+    return {
+        "events": analyzer.events_consumed,
+        "chunks": analyzer.chunks_consumed,
+        "vantages": len(analyzer.events_per_vantage),
+        "snapshots": printer.snapshots_rendered,
+        "state_bytes": analyzer.state_bytes(),
+        "seconds": round(seconds, 4),
+        "bus": bus.stats.as_dict(),
+    }
+
+
+def stream_table(bus: StreamBus, table, chunk_events: int) -> int:
+    """Publish one EventTable's rows as bounded chunks; returns events."""
+    length = len(table)
+    if length == 0:
+        return 0
+    columns = {
+        "timestamps": table.timestamps,
+        "src_ip": table.src_ip,
+        "src_asn": table.src_asn,
+        "dst_ip": table.dst_ip,
+        "dst_port": table.dst_port,
+        "transport_code": table.transport_code,
+        "handshake": table.handshake,
+        "payload": table.payloads,
+        "credentials": table.credentials,
+        "commands": table.commands,
+    }
+    for start in range(0, length, chunk_events):
+        stop = min(start + chunk_events, length)
+        bus.publish(StreamChunk.from_table_chunk(table, columns, start, stop))
+    return length
+
+
+# -- mode 1: tap a running simulation ---------------------------------------
+
+
+def watch_simulation(
+    config=None,
+    options: Optional[WatchOptions] = None,
+    say: Callable[[str], None] = print,
+) -> dict:
+    """Simulate one window with the stream tap attached, snapshotting live."""
+    from repro.deployment.fleet import build_full_deployment
+    from repro.experiments.context import ExperimentConfig, _WINDOWS
+    from repro.scanners.population import PopulationConfig, build_population
+    from repro.sim.engine import SimulationConfig, run_simulation
+    from repro.sim.rng import RngHub
+
+    config = config or ExperimentConfig()
+    options = options or WatchOptions()
+    window = _WINDOWS[config.year]
+    hub = RngHub(config.seed)
+    deployment = build_full_deployment(
+        hub, num_telescope_slash24s=config.telescope_slash24s
+    )
+    population = build_population(PopulationConfig(year=config.year, scale=config.scale))
+    bus, analyzer, printer = _pipeline(
+        window.hours, options, say, leak_experiment=deployment.leak_experiment
+    )
+    say(f"watching a live simulation: {len(population)} campaigns, "
+        f"{len(deployment.honeypots)} vantage points, seed {config.seed}")
+    started = time.perf_counter()
+    run_simulation(
+        deployment,
+        population,
+        SimulationConfig(seed=config.seed, window=window),
+        tap=bus.table_tap(),
+    )
+    bus.close()
+    elapsed = time.perf_counter() - started
+    printer.emit()  # the final snapshot always renders
+    return _summary(bus, analyzer, printer, elapsed)
+
+
+# -- mode 2: attach to an orchestrate spill directory -----------------------
+
+
+def watch_run_dir(
+    run_dir: Union[str, Path],
+    options: Optional[WatchOptions] = None,
+    say: Callable[[str], None] = print,
+    follow_seconds: float = 0.0,
+    poll_seconds: float = 0.5,
+) -> dict:
+    """Stream an orchestrated run's spilled shards through the pipeline.
+
+    Completed shards (manifest present) are streamed in shard order;
+    with ``follow_seconds > 0`` the directory is re-polled for newly
+    completed shards until the deadline passes, so the watcher can run
+    alongside a live ``orchestrate``.
+    """
+    from repro.deployment.fleet import build_full_deployment
+    from repro.experiments.context import ExperimentConfig, _WINDOWS
+    from repro.io.shards import load_shard_tables, read_manifest
+    from repro.sim.rng import RngHub
+
+    run_dir = Path(run_dir)
+    options = options or WatchOptions()
+    run_file = run_dir / "run.json"
+    config_fields = {}
+    if run_file.exists():
+        with open(run_file, "r", encoding="utf-8") as handle:
+            config_fields = json.load(handle).get("config", {})
+    config = ExperimentConfig(**config_fields) if config_fields else ExperimentConfig()
+    window = _WINDOWS[config.year]
+    # The deployment rebuild is deterministic per seed; it supplies the
+    # leak-experiment geometry the alarms need (no event data is read
+    # from it — everything streamed comes from the shards).
+    deployment = build_full_deployment(
+        RngHub(config.seed), num_telescope_slash24s=config.telescope_slash24s
+    )
+    bus, analyzer, printer = _pipeline(
+        window.hours, options, say, leak_experiment=deployment.leak_experiment
+    )
+
+    processed: set[str] = set()
+    started = time.perf_counter()
+    deadline = started + max(0.0, follow_seconds)
+
+    def _sweep() -> int:
+        streamed = 0
+        for shard_path in sorted(run_dir.glob("shard-*")):
+            if shard_path.name in processed or not shard_path.is_dir():
+                continue
+            if read_manifest(shard_path) is None:
+                continue  # still being written
+            processed.add(shard_path.name)
+            tables = load_shard_tables(shard_path)
+            say(f"streaming {shard_path.name} "
+                f"({sum(len(t) for t in tables.values()):,} events)")
+            for vantage_id in sorted(tables):
+                streamed += stream_table(bus, tables[vantage_id], options.chunk_events)
+        return streamed
+
+    _sweep()
+    while time.perf_counter() < deadline:
+        time.sleep(poll_seconds)
+        _sweep()
+    if not processed:
+        raise FileNotFoundError(f"no completed shards under {run_dir}")
+    bus.close()
+    elapsed = time.perf_counter() - started
+    printer.emit()
+    summary = _summary(bus, analyzer, printer, elapsed)
+    summary["shards"] = len(processed)
+    return summary
+
+
+# -- mode 3: attach to a live honeypot fleet --------------------------------
+
+
+def watch_live(
+    services: dict,
+    duration: float = 30.0,
+    interval: float = 5.0,
+    host: str = "127.0.0.1",
+    options: Optional[WatchOptions] = None,
+    say: Callable[[str], None] = print,
+    honeypot_kwargs: Optional[dict] = None,
+) -> dict:
+    """Serve live honeypots with the stream attached; snapshot on a
+    wall-clock cadence.  Returns the summary dict (plus bound ports)."""
+    import asyncio
+
+    from repro.honeypots.live.server import LiveHoneypot
+
+    options = options or WatchOptions()
+    # Live timestamps are hours since start; one window hour per wall
+    # hour of serving, minimum one.
+    hours = max(1, int(np.ceil(duration / 3600.0)))
+    bus, analyzer, printer = _pipeline(hours, options, say)
+
+    async def _serve() -> dict:
+        honeypot = LiveHoneypot(
+            host=host, services=services, on_event=bus.event_tap(),
+            **(honeypot_kwargs or {}),
+        )
+        async with honeypot:
+            bound = ", ".join(
+                f"{host}:{actual} ({type(services[requested]).__name__})"
+                for requested, actual in honeypot.bound_ports.items()
+            )
+            say(f"watching live fleet on {bound} for {duration:.0f}s "
+                f"(snapshot every {interval:.0f}s)")
+            deadline = asyncio.get_running_loop().time() + duration
+            while True:
+                remaining = deadline - asyncio.get_running_loop().time()
+                if remaining <= 0:
+                    break
+                await asyncio.sleep(min(interval, max(remaining, 0.0)))
+                bus.flush()
+                if options.max_snapshots and (
+                    printer.snapshots_rendered >= options.max_snapshots
+                ):
+                    continue
+                printer.emit()
+            await honeypot.stop()
+        bus.close()
+        return {"bound_ports": dict(honeypot.bound_ports),
+                "rejected_connections": honeypot.rejected_connections}
+
+    started = time.perf_counter()
+    extra = asyncio.run(_serve())
+    elapsed = time.perf_counter() - started
+    printer.emit()
+    summary = _summary(bus, analyzer, printer, elapsed)
+    summary.update(extra)
+    return summary

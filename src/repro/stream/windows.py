@@ -1,0 +1,238 @@
+"""Windowed aggregation: tumbling hourly volumes, streaming spikes, and
+the streaming Table 3 leak alarm.
+
+* :class:`TumblingWindows` maintains per-key hourly event counts with
+  exactly the binning of :func:`repro.stats.volume.hourly_volumes`
+  (integer-edge histogram over ``[0, hours)``), so a fully drained
+  stream reproduces the batch series bit-for-bit.  The sealed prefix
+  (hours the watermark has passed) feeds the *existing* spike detector,
+  :func:`repro.stats.volume.count_spikes`, unchanged.
+* :class:`StreamingLeakAlarm` is the streaming version of the Section
+  4.3 / Table 3 comparison: per-(service, leak-group) hourly volumes are
+  maintained incrementally, crawler ASes excluded, and an on-demand
+  :func:`~repro.stats.volume.compare_volumes` (one-sided Mann–Whitney U
+  + KS) runs over the trailing window against the control group.  With
+  the trailing window spanning the whole observation window, the
+  all-traffic rows converge to ``leak_report``'s batch answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Optional
+
+import numpy as np
+
+from repro.deployment.fleet import LeakExperiment
+from repro.stats.volume import VolumeComparison, compare_volumes, count_spikes
+
+__all__ = ["TumblingWindows", "LeakAlarm", "StreamingLeakAlarm"]
+
+
+class TumblingWindows:
+    """Bounded per-key tumbling hourly counts with a shared watermark."""
+
+    def __init__(self, hours: int) -> None:
+        if hours < 1:
+            raise ValueError("hours must be >= 1")
+        self.hours = int(hours)
+        self._series: dict[Hashable, np.ndarray] = {}
+        #: Largest timestamp observed (event time, fractional hours).
+        self.watermark = 0.0
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._series
+
+    def keys(self) -> list[Hashable]:
+        return sorted(self._series, key=repr)
+
+    def add(self, key: Hashable, timestamps: np.ndarray) -> int:
+        """Bin ``timestamps`` into ``key``'s hourly series; returns kept."""
+        array = np.asarray(timestamps, dtype=np.float64)
+        if array.size == 0:
+            return 0
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = np.zeros(self.hours, dtype=np.float64)
+        # np.histogram semantics over range (0, hours): the final bin is
+        # closed on the right, everything outside the range is dropped.
+        keep = (array >= 0.0) & (array <= self.hours)
+        kept = array[keep]
+        if kept.size == 0:
+            return 0
+        indices = np.minimum(kept.astype(np.int64), self.hours - 1)
+        np.add.at(series, indices, 1.0)
+        self.watermark = max(self.watermark, float(kept.max()))
+        return int(kept.size)
+
+    def series(self, key: Hashable) -> np.ndarray:
+        """The key's full hourly series (zeros if never seen)."""
+        series = self._series.get(key)
+        if series is None:
+            return np.zeros(self.hours, dtype=np.float64)
+        return series
+
+    def sealed_hours(self) -> int:
+        """Hours the watermark has fully passed (safe to analyze)."""
+        return min(int(self.watermark), self.hours)
+
+    def sealed_series(self, key: Hashable) -> np.ndarray:
+        """The sealed prefix of the key's series."""
+        return self.series(key)[: self.sealed_hours()]
+
+    def spikes(self, key: Hashable, threshold_sigmas: float = 3.0) -> int:
+        """Run the existing batch spike detector on the sealed prefix."""
+        return count_spikes(self.sealed_series(key), threshold_sigmas)
+
+    def rate_per_hour(self, key: Hashable) -> float:
+        """Mean events/hour over the sealed prefix (0 before first seal)."""
+        sealed = self.sealed_series(key)
+        return float(sealed.mean()) if sealed.size else 0.0
+
+    def state_bytes(self) -> int:
+        return sum(series.nbytes for series in self._series.values())
+
+
+# -- streaming Table 3 ------------------------------------------------------
+
+#: The engines' own crawler origin ASes (see repro.analysis.leak).
+_CRAWLER_ASES = (398324, 10439)
+
+#: The (protocol, port) services the leak experiment emulates.
+_LEAK_SERVICES: tuple[tuple[str, int], ...] = (("http", 80), ("ssh", 22), ("telnet", 23))
+
+
+@dataclass(frozen=True)
+class LeakAlarm:
+    """One streaming Table 3 row: a service × leak-group comparison."""
+
+    service: str
+    group: str
+    fold: float
+    mwu_p: float
+    ks_p: float
+    stochastically_greater: bool
+    distribution_differs: bool
+    leaked_spikes: int
+    control_spikes: int
+    trailing_hours: int
+
+
+class StreamingLeakAlarm:
+    """Streaming leak detection over the Section 4.3 experiment layout.
+
+    ``observe`` filters each chunk down to experiment traffic (crawler
+    ASes excluded) and updates per-(port, group) hourly histograms;
+    ``evaluate`` compares each leaked group's trailing per-IP series
+    against the control group's with the same tests Table 3 uses.
+    """
+
+    def __init__(self, experiment: LeakExperiment, hours: int) -> None:
+        self.experiment = experiment
+        self.hours = int(hours)
+        self.windows = TumblingWindows(self.hours)
+        # Group membership: control/previously IPs count on every leak
+        # service port; each leaked group's IPs only on its own port.
+        self._group_sizes: dict[tuple[int, str], int] = {}
+        self._ip_groups: dict[int, str] = {}
+        for ip in experiment.control_ips:
+            self._ip_groups[int(ip)] = "control"
+        for ip in experiment.previously_leaked_ips:
+            self._ip_groups[int(ip)] = "previously"
+        for _protocol, port in _LEAK_SERVICES:
+            self._group_sizes[(port, "control")] = len(experiment.control_ips)
+            self._group_sizes[(port, "previously")] = len(experiment.previously_leaked_ips)
+        self._leaked_port: dict[int, tuple[int, str]] = {}
+        for group in experiment.leak_groups:
+            self._group_sizes[(group.port, group.engine)] = len(group.ips)
+            for ip in group.ips:
+                self._leaked_port[int(ip)] = (group.port, group.engine)
+        self._watch_ips = np.unique(np.fromiter(
+            (int(ip) for ip in experiment.all_ips), dtype=np.int64
+        ))
+        self._ports = np.asarray([port for _p, port in _LEAK_SERVICES], dtype=np.int64)
+
+    def observe(
+        self,
+        dst_ips: np.ndarray,
+        dst_ports: np.ndarray,
+        src_asns: np.ndarray,
+        timestamps: np.ndarray,
+    ) -> int:
+        """Ingest one chunk's columns; returns experiment rows counted."""
+        dst_ips = np.asarray(dst_ips, dtype=np.int64)
+        mask = np.isin(dst_ips, self._watch_ips)
+        if not mask.any():
+            return 0
+        dst_ports = np.asarray(dst_ports, dtype=np.int64)[mask]
+        src_asns = np.asarray(src_asns, dtype=np.int64)[mask]
+        stamps = np.asarray(timestamps, dtype=np.float64)[mask]
+        dst_ips = dst_ips[mask]
+        counted = 0
+        for ip, port, asn, stamp in zip(
+            dst_ips.tolist(), dst_ports.tolist(), src_asns.tolist(), stamps.tolist()
+        ):
+            if asn in _CRAWLER_ASES:
+                continue
+            name = self._ip_groups.get(ip)
+            if name is None:
+                leaked = self._leaked_port.get(ip)
+                if leaked is None or leaked[0] != port:
+                    continue
+                key = leaked
+            else:
+                if port not in self._ports:
+                    continue
+                key = (port, name)
+            counted += self.windows.add(key, np.asarray([stamp]))
+        return counted
+
+    def per_ip_series(self, port: int, group: str) -> np.ndarray:
+        """Average per-IP hourly series for one (port, group)."""
+        size = self._group_sizes.get((port, group), 0)
+        if size == 0:
+            return np.zeros(self.hours, dtype=np.float64)
+        return self.windows.series((port, group)) / float(size)
+
+    def evaluate(
+        self, trailing_hours: Optional[int] = None, alpha: float = 0.05
+    ) -> list[LeakAlarm]:
+        """Run the Table 3 tests on the trailing window, right now.
+
+        ``trailing_hours=None`` compares the full observation window
+        (the configuration that converges to the batch ``leak_report``);
+        a finite trailing window restricts both series to the last
+        ``trailing_hours`` sealed hours, the live-alarm shape.
+        """
+        alarms: list[LeakAlarm] = []
+        if trailing_hours is None:
+            lo, hi = 0, self.hours
+        else:
+            hi = self.windows.sealed_hours()
+            lo = max(0, hi - int(trailing_hours))
+            if hi - lo < 2:  # nothing comparable yet
+                return alarms
+        for protocol, port in _LEAK_SERVICES:
+            control = self.per_ip_series(port, "control")[lo:hi]
+            for group in ("censys", "shodan", "previously"):
+                if (port, group) not in self._group_sizes:
+                    continue
+                leaked = self.per_ip_series(port, group)[lo:hi]
+                comparison: VolumeComparison = compare_volumes(leaked, control)
+                service = "HTTP/80" if protocol == "http" else f"{protocol.upper()}/{port}"
+                alarms.append(LeakAlarm(
+                    service=service,
+                    group=group,
+                    fold=comparison.fold,
+                    mwu_p=comparison.mwu_p,
+                    ks_p=comparison.ks_p,
+                    stochastically_greater=comparison.stochastically_greater(alpha),
+                    distribution_differs=comparison.distribution_differs(alpha),
+                    leaked_spikes=count_spikes(leaked),
+                    control_spikes=count_spikes(control),
+                    trailing_hours=hi - lo,
+                ))
+        return alarms
+
+    def state_bytes(self) -> int:
+        return self.windows.state_bytes() + 64 * len(self._group_sizes)

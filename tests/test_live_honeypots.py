@@ -173,6 +173,141 @@ class TestLifecycle:
         assert len(set(ports.values())) == 2
 
 
+class TestConcurrentReplay:
+    def test_no_event_loss_under_concurrent_connections(self):
+        """Thirty-two clients hammering one service at once: every
+        session is captured, and the on_event stream tap sees each one."""
+
+        async def scenario():
+            streamed = []
+            pot = LiveHoneypot(services={0: HttpService()},
+                               on_event=streamed.append)
+            async with pot:
+                port = pot.bound_ports[0]
+                request = http_payload("root-get").render("127.0.0.1")
+
+                async def one_client(i):
+                    return await ReplayClient().send_payload(port, request)
+
+                replies = await asyncio.gather(*(one_client(i) for i in range(32)))
+                await pot.stop()
+                return replies, pot.events, streamed
+
+        replies, events, streamed = run(scenario())
+        assert len(replies) == 32
+        assert all(reply.startswith(b"HTTP/1.1 200 OK") for reply in replies)
+        assert len(events) == 32  # zero loss
+        assert len(streamed) == 32  # the live tap saw every session
+        assert {id(event) for event in streamed} == {id(event) for event in events}
+
+    def test_concurrent_telnet_sessions_keep_credentials_separate(self):
+        async def scenario():
+            pot = LiveHoneypot(services={0: TelnetService()})
+            async with pot:
+                port = pot.bound_ports[0]
+                await asyncio.gather(*(
+                    ReplayClient().login_session(
+                        port, [Credential(f"user{i}", f"pass{i}")]
+                    )
+                    for i in range(8)
+                ))
+                await pot.stop()
+                return pot.events
+
+        events = run(scenario())
+        assert len(events) == 8
+        recorded = {event.credentials for event in events}
+        assert recorded == {((f"user{i}", f"pass{i}"),) for i in range(8)}
+
+
+class TestResourceCaps:
+    def test_connection_limit_rejects_excess_clients(self):
+        """With max_connections=1 and one connection parked in the
+        handler, further connections are turned away and counted."""
+
+        async def scenario():
+            pot = LiveHoneypot(services={0: FirstPayloadService()},
+                               max_connections=1)
+            pot.services[0].read_timeout = 1.0
+            async with pot:
+                port = pot.bound_ports[0]
+                # Park a silent connection inside the handler.
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                await asyncio.sleep(0.1)
+                # These arrive while the slot is taken.
+                for _ in range(3):
+                    r2, w2 = await asyncio.open_connection("127.0.0.1", port)
+                    assert await r2.read(64) == b""  # closed without service
+                    w2.close()
+                    await w2.wait_closed()
+                writer.close()
+                await writer.wait_closed()
+                await pot.stop()
+                return pot
+
+        pot = run(scenario())
+        assert pot.rejected_connections == 3
+        assert len(pot.events) == 1  # only the parked connection was served
+
+    def test_oversized_first_payload_is_capped(self):
+        """A client streaming far more than max_payload_bytes cannot
+        make the server buffer it all: the capture is capped."""
+
+        async def scenario():
+            pot = LiveHoneypot(services={0: FirstPayloadService()})
+            async with pot:
+                blob = b"A" * (256 * 1024)
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", pot.bound_ports[0]
+                )
+                try:
+                    # The server caps its read and closes mid-stream; the
+                    # resulting reset on our side is the expected outcome.
+                    writer.write(blob)
+                    await writer.drain()
+                    await reader.read()
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+                finally:
+                    writer.close()
+                    try:
+                        await writer.wait_closed()
+                    except (ConnectionResetError, BrokenPipeError):
+                        pass
+                await pot.stop()
+                return pot.events
+
+        events = run(scenario())
+        assert len(events) == 1
+        assert 0 < len(events[0].payload) <= pot_max_payload()
+
+    def test_oversized_telnet_line_does_not_kill_session(self):
+        """A 200 KB username with no newline in sight: the session
+        survives, the event is recorded, credentials stay empty."""
+
+        async def scenario():
+            pot = LiveHoneypot(services={0: TelnetService()})
+            async with pot:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", pot.bound_ports[0]
+                )
+                await reader.read(64)  # banner
+                writer.write(b"B" * (200 * 1024))  # no newline: overruns the limit
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+                await pot.stop()
+                return pot.events
+
+        events = run(scenario())
+        assert len(events) == 1
+        assert events[0].credentials == ()
+
+
+def pot_max_payload() -> int:
+    return FirstPayloadService().max_payload_bytes
+
+
 class TestLiveAnalysisIntegration:
     def test_live_capture_feeds_analysis_pipeline(self):
         """Live-captured events run through the same AnalysisDataset the

@@ -1,0 +1,190 @@
+"""Property tests for the streaming sketches (Space-Saving, HLL).
+
+The Space-Saving guarantees under test are the provable ones from
+Metwally et al.: every estimate overestimates by at most ``n/k``, any
+category whose true count exceeds ``n/k`` is monitored, and with ``k``
+at least the number of distinct categories the sketch is exact.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.contingency import chi_square_test
+from repro.stats.topk import top_k, union_table
+from repro.stream.sketches import HyperLogLog, SpaceSavingSketch, StreamingContingency
+
+#: Streams over a small alphabet force plenty of evictions at small k.
+streams = st.lists(st.integers(min_value=0, max_value=30), max_size=300)
+capacities = st.integers(min_value=1, max_value=16)
+
+
+class TestSpaceSavingProperties:
+    @given(stream=streams, k=capacities)
+    @settings(max_examples=200, deadline=None)
+    def test_error_bounded_by_n_over_k(self, stream, k):
+        """0 <= estimate - true <= n/k for every category in the stream."""
+        sketch = SpaceSavingSketch(k)
+        for category in stream:
+            sketch.update(category)
+        exact = Counter(stream)
+        assert sketch.total == len(stream)
+        bound = sketch.error_bound
+        for category, true_count in exact.items():
+            estimate = sketch.estimate(category)
+            if estimate:  # monitored: an overestimate within the bound
+                assert true_count <= estimate <= true_count + bound
+                assert sketch.error(category) <= bound
+            else:  # unmonitored: true count can't exceed the bound
+                assert true_count <= bound
+
+    @given(stream=streams, k=capacities)
+    @settings(max_examples=200, deadline=None)
+    def test_counts_monotone_nondecreasing(self, stream, k):
+        """Totals and per-category estimates never decrease as the
+        stream grows."""
+        sketch = SpaceSavingSketch(k)
+        previous_total = 0.0
+        previous_estimates: dict = {}
+        for category in stream:
+            sketch.update(category)
+            assert sketch.total == previous_total + 1
+            previous_total = sketch.total
+            estimate = sketch.estimate(category)
+            assert estimate >= previous_estimates.get(category, 0.0)
+            previous_estimates[category] = estimate
+
+    @given(stream=streams, k=capacities)
+    @settings(max_examples=200, deadline=None)
+    def test_heavy_hitters_always_monitored(self, stream, k):
+        """Any category with true count > n/k is guaranteed monitored,
+        so the sketch's top-k is a superset of the exact heavy hitters."""
+        sketch = SpaceSavingSketch(k)
+        exact = Counter(stream)
+        for category in stream:
+            sketch.update(category)
+        monitored = set(sketch.counts())
+        heavy = {c for c, n in exact.items() if n > sketch.error_bound}
+        assert heavy <= monitored
+        assert heavy <= set(sketch.top(k))
+
+    @given(stream=streams)
+    @settings(max_examples=200, deadline=None)
+    def test_exact_when_k_covers_distinct(self, stream):
+        """With k >= distinct categories the sketch IS the exact counter
+        (the property the streaming §3.3 consistency relies on)."""
+        exact = Counter(stream)
+        sketch = SpaceSavingSketch(max(1, len(exact)))
+        for category in stream:
+            sketch.update(category)
+        assert sketch.counts() == {c: float(n) for c, n in exact.items()}
+        assert sketch.top(3) == top_k(exact, 3)
+        for category in exact:
+            assert sketch.error(category) == 0.0
+
+    @given(stream=streams, k=capacities)
+    @settings(max_examples=100, deadline=None)
+    def test_chunked_updates_match_itemwise(self, stream, k):
+        """update_counts over per-chunk Counters gives the same sketch
+        as item-at-a-time updates in the deterministic order."""
+        itemwise = SpaceSavingSketch(k)
+        for chunk_start in range(0, len(stream), 7):
+            chunk = Counter(stream[chunk_start:chunk_start + 7])
+            for category in sorted(chunk, key=repr):
+                itemwise.update(category, chunk[category])
+        chunked = SpaceSavingSketch(k)
+        for chunk_start in range(0, len(stream), 7):
+            chunked.update_counts(Counter(stream[chunk_start:chunk_start + 7]))
+        assert chunked.counts() == itemwise.counts()
+
+    def test_weighted_updates(self):
+        sketch = SpaceSavingSketch(2)
+        sketch.update("a", 5.0)
+        sketch.update("b", 3.0)
+        sketch.update("c", 1.0)  # evicts b (min), inherits 3.0 as floor
+        assert sketch.estimate("c") == 4.0
+        assert sketch.error("c") == 3.0
+        assert sketch.total == 9.0
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            SpaceSavingSketch(0)
+
+
+class TestHyperLogLog:
+    @pytest.mark.parametrize("true_count", [50, 500, 20000])
+    def test_estimate_within_tolerance(self, true_count):
+        hll = HyperLogLog(p=12)
+        hll.add_ints(np.arange(true_count, dtype=np.int64) * 2654435761 % (1 << 48))
+        # Standard error is ~1.04/sqrt(2^12) ≈ 1.6%; allow 5 sigma.
+        assert abs(hll.estimate() - true_count) <= max(5, 0.081 * true_count)
+
+    def test_duplicates_do_not_inflate(self):
+        hll = HyperLogLog(p=10)
+        values = np.arange(100, dtype=np.int64)
+        for _pass in range(5):
+            hll.add_ints(values)
+        assert abs(hll.estimate() - 100) <= 10
+
+    def test_deterministic_across_instances(self):
+        a, b = HyperLogLog(p=8), HyperLogLog(p=8)
+        a.add_ints(np.arange(1000))
+        b.add_ints(np.arange(1000))
+        assert a.estimate() == b.estimate()
+
+    def test_object_and_int_ingest(self):
+        hll = HyperLogLog(p=10)
+        hll.add("username")
+        hll.add(b"payload")
+        hll.add(42)
+        assert 2.5 <= hll.estimate() <= 3.5
+
+    def test_state_is_bounded(self):
+        hll = HyperLogLog(p=12)
+        hll.add_ints(np.arange(100000))
+        assert hll.state_bytes() == 4096
+
+    def test_rejects_bad_precision(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(p=3)
+
+
+class TestStreamingContingency:
+    @given(
+        data=st.lists(
+            st.tuples(st.sampled_from(["v1", "v2", "v3"]),
+                      st.integers(min_value=0, max_value=12)),
+            min_size=1, max_size=200,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_batch_chi_square_when_exact(self, data):
+        """With sketch_k >= distinct categories the streamed union-table
+        comparison is bit-identical to the batch one."""
+        contingency = StreamingContingency(sketch_k=64)
+        exact: dict[str, Counter] = {}
+        for group, category in data:
+            contingency.update(group, category)
+            exact.setdefault(group, Counter())[category] += 1
+        batch_counts = {g: dict(c) for g, c in exact.items()}
+        streamed = contingency.chi_square(3)
+        batch = chi_square_test(union_table(batch_counts, 3)[0])
+        if batch.valid:
+            assert streamed.phi == batch.phi
+            assert streamed.p_value == batch.p_value
+            assert streamed.sample_size == batch.sample_size
+        else:
+            assert not streamed.valid
+        for group in exact:
+            assert contingency.top(group, 3) == top_k(exact[group], 3)
+
+    def test_state_accounting(self):
+        contingency = StreamingContingency(sketch_k=8)
+        contingency.update("v1", "root")
+        contingency.update("v2", "admin")
+        assert contingency.total() == 2.0
+        assert contingency.state_bytes() > 0
+        assert contingency.groups() == ["v1", "v2"]

@@ -1,0 +1,124 @@
+"""The `cloudwatching watch` service end to end: the simulation tap,
+the orchestrate-spill attachment (including ``--workers auto``), and
+the CLI surface.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.context import ExperimentConfig
+from repro.runner import orchestrate, resolve_workers
+from repro.stream import WatchOptions, watch_run_dir, watch_simulation
+
+#: Tiny but non-degenerate: every attachment mode sees real traffic.
+TINY = ExperimentConfig(year=2021, scale=0.05, telescope_slash24s=4, seed=5)
+
+
+class TestWatchSimulation:
+    def test_taps_simulation_and_snapshots(self):
+        said: list[str] = []
+        summary = watch_simulation(
+            TINY,
+            options=WatchOptions(snapshot_events=10000, max_snapshots=2),
+            say=said.append,
+        )
+        assert summary["events"] > 1000
+        assert summary["vantages"] > 5
+        assert summary["bus"]["dropped_events"] == 0
+        assert summary["bus"]["delivered_events"] == summary["events"]
+        # Two periodic snapshots plus the final one.
+        assert summary["snapshots"] == 3
+        snapshots = [text for text in said if "stream snapshot" in text]
+        assert len(snapshots) == 3
+        assert "§3.3 cross-vantage comparisons" in snapshots[-1]
+        assert "leak alarms" in snapshots[-1]
+
+    def test_final_snapshot_only_by_default_cadence_zero(self):
+        said: list[str] = []
+        summary = watch_simulation(
+            TINY, options=WatchOptions(snapshot_events=0), say=said.append
+        )
+        assert summary["snapshots"] == 1
+
+
+class TestWatchRunDir:
+    def test_streams_spilled_shards(self, tmp_path):
+        out_dir = tmp_path / "run"
+        run = orchestrate(TINY, workers="auto", out_dir=out_dir,
+                          num_shards=2, quiet=True)
+        assert not run.partial
+
+        record = json.loads((out_dir / "run.json").read_text())
+        assert record["workers_requested"] == "auto"
+        assert isinstance(record["workers"], int) and record["workers"] >= 1
+        assert record["workers"] == resolve_workers("auto")
+
+        said: list[str] = []
+        summary = watch_run_dir(
+            out_dir, options=WatchOptions(chunk_events=512), say=said.append
+        )
+        assert summary["shards"] == 2
+        assert summary["events"] == run.context.result.total_events()
+        assert summary["bus"]["dropped_events"] == 0
+        assert any("streaming shard-" in line for line in said)
+        assert any("stream snapshot" in line for line in said)
+
+    def test_missing_run_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            watch_run_dir(tmp_path / "nope")
+
+    def test_directory_without_completed_shards_raises(self, tmp_path):
+        (tmp_path / "shard-0000").mkdir()  # no manifest: still in flight
+        with pytest.raises(FileNotFoundError):
+            watch_run_dir(tmp_path)
+
+
+class TestResolveWorkers:
+    def test_auto_derives_from_cpu_count(self):
+        assert resolve_workers("auto") >= 1
+
+    def test_explicit_counts_pass_through(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(1) == 1
+
+    def test_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+        with pytest.raises(ValueError):
+            resolve_workers("three")
+
+
+class TestWatchCli:
+    def test_simulate_mode_smoke(self, capsys):
+        code = main([
+            "watch", "--simulate", "--scale", "0.05", "--telescope", "4",
+            "--seed", "5", "--snapshot-events", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stream snapshot" in out
+        assert "watch done:" in out
+        assert "0 dropped" in out
+
+    def test_run_dir_mode(self, tmp_path, capsys):
+        out_dir = tmp_path / "cli-run"
+        assert main([
+            "orchestrate", "--out", str(out_dir), "--scale", "0.05",
+            "--telescope", "4", "--seed", "5", "--shards", "2",
+            "--workers", "auto", "--experiments",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "watch", "--run-dir", str(out_dir), "--snapshot-events", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "watch done:" in out
+
+    def test_workers_flag_rejects_junk(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["orchestrate", "--workers", "zero"])
+        assert "auto" in capsys.readouterr().err
