@@ -84,12 +84,22 @@ class AnalysisDataset:
         leak_experiment: Optional[LeakExperiment] = None,
         rule_engine: Optional[RuleEngine] = None,
         tables: Optional[Mapping[str, EventTable]] = None,
+        shard_tables: Optional[Sequence[Mapping[str, EventTable]]] = None,
+        map_workers: int = 1,
     ) -> None:
         if events is None and tables is None:
             raise ValueError("provide events or tables")
         self.tables: Optional[dict[str, EventTable]] = (
             dict(tables) if tables is not None else None
         )
+        # Per-shard table views of the same rows (merge order), set by the
+        # orchestrator so map-reduce drivers can regroup work shard-wise;
+        # ``map_workers`` is their fan-out budget.
+        self.shard_tables: Optional[list[dict[str, EventTable]]] = (
+            [dict(shard) for shard in shard_tables]
+            if shard_tables is not None else None
+        )
+        self.map_workers = int(map_workers)
         self._events: Optional[list[CapturedEvent]] = (
             list(events) if events is not None else None
         )
@@ -110,13 +120,20 @@ class AnalysisDataset:
     # ------------------------------------------------------------------
 
     @classmethod
-    def from_simulation(cls, result: SimulationResult) -> "AnalysisDataset":
+    def from_simulation(
+        cls,
+        result: SimulationResult,
+        shard_tables: Optional[Sequence[Mapping[str, EventTable]]] = None,
+        map_workers: int = 1,
+    ) -> "AnalysisDataset":
         return cls(
             tables=result.tables(),
             vantages=result.deployment.honeypots,
             window=result.window,
             telescope=result.telescope,
             leak_experiment=result.deployment.leak_experiment,
+            shard_tables=shard_tables,
+            map_workers=map_workers,
         )
 
     # ------------------------------------------------------------------
@@ -139,6 +156,7 @@ class AnalysisDataset:
         columnar backing no longer describes the rows, so drop it."""
         self._events = list(events)
         self.tables = None
+        self.shard_tables = None
         self._by_vantage_cache = None
         self._oracle = None
 
@@ -174,8 +192,42 @@ class AnalysisDataset:
         """GreyNoise-style actor reputation over the whole dataset."""
         if self._oracle is None:
             oracle = ReputationOracle(classifier=self.classifier)
-            self._oracle = oracle.observe_all(self.events)
+            if self.tables is not None:
+                self._observe_columns(oracle)
+                self._oracle = oracle
+            else:
+                self._oracle = oracle.observe_all(self.events)
         return self._oracle
+
+    def _observe_columns(self, oracle: ReputationOracle) -> None:
+        """Feed the oracle straight from columns — same observation order
+        as ``observe_all(self.events)`` (vantage-major, row order), without
+        materializing row objects."""
+        seen = oracle._seen_ips
+        malicious = oracle._malicious_ips
+        cache = self._malicious_cache
+        classify = self.classifier.is_malicious_parts
+        for table in self.tables.values():
+            if len(table) == 0:
+                continue
+            src_ips = table.src_ip.tolist()
+            src_asns = table.src_asn.tolist()
+            dst_ports = table.dst_port.tolist()
+            payloads = table.payloads
+            credentials = table.credentials
+            for index, src_ip in enumerate(src_ips):
+                seen[src_ip] = src_asns[index]
+                if src_ip in malicious:
+                    continue
+                payload = payloads[index]
+                attempted = bool(credentials[index])
+                key = (payload, dst_ports[index], attempted)
+                verdict = cache.get(key)
+                if verdict is None:
+                    verdict = classify(payload, dst_ports[index], attempted)
+                    cache[key] = verdict
+                if verdict:
+                    malicious.add(src_ip)
 
     # ------------------------------------------------------------------
     # grouping

@@ -38,17 +38,66 @@ class OverlapRow:
     telescope_size: int
 
 
+def _port_kind_sources(
+    dataset: AnalysisDataset,
+    ports: Sequence[int],
+    kinds: Sequence[NetworkKind],
+) -> dict[tuple[int, NetworkKind], set[int]]:
+    """Source-IP sets for every (port, network kind) pair, in one pass.
+
+    On table-backed datasets this is the shard-wise map-reduce path:
+    each shard computes per-pair ``np.unique`` source sets over its
+    memory-mapped columns and the reduce is a set union — exact, since
+    set membership is order-free.  Row-backed datasets fall back to
+    :meth:`AnalysisDataset.sources_on_port` per pair.
+    """
+    pairs = [(port, kind) for port in ports for kind in kinds]
+    if dataset.tables is None:
+        return {pair: dataset.sources_on_port(*pair) for pair in pairs}
+
+    import numpy as np
+
+    from repro.experiments.base import run_shard_wise
+
+    kind_set = frozenset(kinds)
+
+    def map_shard(view):
+        partial = {pair: set() for pair in pairs}
+        for table in view.tables.values():
+            if table.network_kind not in kind_set or len(table) == 0:
+                continue
+            dst_port = table.dst_port
+            src_ip = table.src_ip
+            for port in ports:
+                mask = dst_port == port
+                if mask.any():
+                    partial[(port, table.network_kind)].update(
+                        np.unique(src_ip[mask]).tolist()
+                    )
+        return partial
+
+    def reduce(partials):
+        merged = {pair: set() for pair in pairs}
+        for partial in partials:
+            for pair, sources in partial.items():
+                merged[pair].update(sources)
+        return merged
+
+    return run_shard_wise(map_shard, reduce, dataset)
+
+
 def scanner_overlap(
     dataset: AnalysisDataset, ports: Sequence[int] = POPULAR_PORTS
 ) -> list[OverlapRow]:
     """Compute Table 8 over the dataset's popular ports."""
     if dataset.telescope is None:
         raise ValueError("dataset has no telescope capture")
+    sources = _port_kind_sources(dataset, ports, (NetworkKind.CLOUD, NetworkKind.EDU))
     rows: list[OverlapRow] = []
     for port in ports:
         telescope_sources = dataset.telescope.sources_on_port(port)
-        cloud_sources = dataset.sources_on_port(port, NetworkKind.CLOUD)
-        edu_sources = dataset.sources_on_port(port, NetworkKind.EDU)
+        cloud_sources = sources[(port, NetworkKind.CLOUD)]
+        edu_sources = sources[(port, NetworkKind.EDU)]
         rows.append(
             OverlapRow(
                 port=port,

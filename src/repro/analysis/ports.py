@@ -45,22 +45,98 @@ class ProtocolBreakdownRow:
     unexpected_protocols: dict[str, float]  # protocol -> % of all scanners
 
 
+def _first_protocol_by_source(
+    dataset: AnalysisDataset, ports: Sequence[int]
+) -> dict[int, dict[int, str]]:
+    """Per port: each Honeytrap source's *first* fingerprinted protocol.
+
+    Shard-wise map-reduce with first-occurrence semantics: every
+    candidate carries its global sort key ``(vantage position, shard
+    position, row)`` and the reduce keeps the minimum — exactly the
+    first matching event in merged row order, so the result is
+    bit-identical to a single scan of ``dataset.events``.
+    """
+    from repro.detection.fingerprint import fingerprint as _fingerprint
+    from repro.experiments.base import run_shard_wise
+
+    import numpy as np
+
+    fingerprint_cache = dataset._fingerprint_cache
+
+    def map_shard(view):
+        partial: dict[int, dict[int, tuple[tuple[int, int, int], str]]] = {
+            port: {} for port in ports
+        }
+        for vantage_id, table in view.tables.items():
+            if not vantage_id.startswith(_HONEYTRAP_PREFIX) or len(table) == 0:
+                continue
+            vantage_pos = view.order[vantage_id]
+            dst_port = table.dst_port
+            for port in ports:
+                matching = np.flatnonzero(dst_port == port)
+                if len(matching) == 0:
+                    continue
+                payloads = table.payloads
+                src_ips = table.src_ip
+                first = partial[port]
+                for row in matching.tolist():
+                    payload = payloads[row]
+                    if payload in fingerprint_cache:
+                        identified = fingerprint_cache[payload]
+                    else:
+                        identified = _fingerprint(payload)
+                        fingerprint_cache[payload] = identified
+                    if identified is None:
+                        continue
+                    src_ip = int(src_ips[row])
+                    # Rows iterate ascending, so within this shard the
+                    # first hit wins without comparing keys.
+                    if src_ip not in first:
+                        first[src_ip] = ((vantage_pos, view.index, row), identified)
+        return partial
+
+    def reduce(partials):
+        merged: dict[int, dict[int, tuple[tuple[int, int, int], str]]] = {
+            port: {} for port in ports
+        }
+        for partial in partials:
+            for port, candidates in partial.items():
+                first = merged[port]
+                for src_ip, candidate in candidates.items():
+                    held = first.get(src_ip)
+                    if held is None or candidate[0] < held[0]:
+                        first[src_ip] = candidate
+        return {
+            port: {src_ip: proto for src_ip, (_key, proto) in candidates.items()}
+            for port, candidates in merged.items()
+        }
+
+    return run_shard_wise(map_shard, reduce, dataset)
+
+
 def protocol_breakdown(
     dataset: AnalysisDataset, ports: Sequence[int] = (80, 8080)
 ) -> list[ProtocolBreakdownRow]:
     """Compute Table 11 over the Honeytrap networks."""
     oracle = dataset.reputation_oracle()
+    if dataset.tables is not None:
+        first_protocols = _first_protocol_by_source(dataset, ports)
+    else:
+        first_protocols = None
     rows: list[ProtocolBreakdownRow] = []
     for port in ports:
-        protocol_of_source: dict[int, str] = {}
-        for event in dataset.events:
-            if event.dst_port != port or not event.vantage_id.startswith(_HONEYTRAP_PREFIX):
-                continue
-            identified = dataset.fingerprint_of(event)
-            if identified is None:
-                continue
-            # A source's protocol is whatever it spoke first at this port.
-            protocol_of_source.setdefault(event.src_ip, identified)
+        if first_protocols is not None:
+            protocol_of_source = first_protocols[port]
+        else:
+            protocol_of_source = {}
+            for event in dataset.events:
+                if event.dst_port != port or not event.vantage_id.startswith(_HONEYTRAP_PREFIX):
+                    continue
+                identified = dataset.fingerprint_of(event)
+                if identified is None:
+                    continue
+                # A source's protocol is whatever it spoke first at this port.
+                protocol_of_source.setdefault(event.src_ip, identified)
 
         total = len(protocol_of_source)
         if total == 0:
@@ -117,28 +193,32 @@ def methodology_numbers(dataset: AnalysisDataset) -> MethodologyNumbers:
     """
     from repro.scanners.payloads import strip_ephemeral_headers
 
-    telnet_total = telnet_auth = 0
-    ssh_total = ssh_auth = 0
-    http_total = http_exploit = 0
-    distinct_http: dict[bytes, bool] = {}
+    if dataset.tables is not None:
+        (telnet_total, telnet_auth, ssh_total, ssh_auth,
+         http_total, http_exploit, distinct_http) = _methodology_counts(dataset)
+    else:
+        telnet_total = telnet_auth = 0
+        ssh_total = ssh_auth = 0
+        http_total = http_exploit = 0
+        distinct_http = {}
 
-    for event in dataset.events:
-        interactive_capture = event.vantage_id.startswith("gn-")
-        if interactive_capture and event.dst_port == 23 and event.handshake:
-            telnet_total += 1
-            if event.attempted_login:
-                telnet_auth += 1
-        elif interactive_capture and event.dst_port == 22 and event.handshake:
-            ssh_total += 1
-            if event.attempted_login:
-                ssh_auth += 1
-        if event.dst_port == 80 and event.payload:
-            if dataset.fingerprint_of(event) == "http":
-                http_total += 1
-                malicious = dataset.is_malicious(event)
-                if malicious:
-                    http_exploit += 1
-                distinct_http.setdefault(strip_ephemeral_headers(event.payload), malicious)
+        for event in dataset.events:
+            interactive_capture = event.vantage_id.startswith("gn-")
+            if interactive_capture and event.dst_port == 23 and event.handshake:
+                telnet_total += 1
+                if event.attempted_login:
+                    telnet_auth += 1
+            elif interactive_capture and event.dst_port == 22 and event.handshake:
+                ssh_total += 1
+                if event.attempted_login:
+                    ssh_auth += 1
+            if event.dst_port == 80 and event.payload:
+                if dataset.fingerprint_of(event) == "http":
+                    http_total += 1
+                    malicious = dataset.is_malicious(event)
+                    if malicious:
+                        http_exploit += 1
+                    distinct_http.setdefault(strip_ephemeral_headers(event.payload), malicious)
 
     def _pct(part: int, whole: int) -> float:
         return 100.0 * part / whole if whole else 0.0
@@ -150,3 +230,93 @@ def methodology_numbers(dataset: AnalysisDataset) -> MethodologyNumbers:
         http80_non_exploit_pct=_pct(http_total - http_exploit, http_total),
         distinct_http_payloads_malicious_pct=_pct(distinct_malicious, len(distinct_http)),
     )
+
+
+def _methodology_counts(dataset: AnalysisDataset):
+    """Shard-wise columnar computation of the Section 3.2 counters.
+
+    The scalar counters (auth fractions, HTTP totals) are plain sums —
+    trivially mergeable.  ``distinct_http`` has first-occurrence
+    semantics (the flag recorded is the *first* matching event's
+    maliciousness), so partials carry ``(vantage position, shard
+    position, row)`` sort keys and the reduce keeps the minimum,
+    reproducing the merged row order's ``setdefault`` exactly.
+    """
+    import numpy as np
+
+    from repro.experiments.base import run_shard_wise
+    from repro.scanners.payloads import strip_ephemeral_headers
+
+    fingerprint_cache = dataset._fingerprint_cache
+    malicious_cache = dataset._malicious_cache
+    classify = dataset.classifier.is_malicious_parts
+
+    from repro.detection.fingerprint import fingerprint as _fingerprint
+
+    def map_shard(view):
+        counts = [0, 0, 0, 0, 0, 0]
+        distinct: dict[bytes, tuple[tuple[int, int, int], bool]] = {}
+        for vantage_id, table in view.tables.items():
+            if len(table) == 0:
+                continue
+            vantage_pos = view.order[vantage_id]
+            dst_port = table.dst_port
+            if vantage_id.startswith("gn-"):
+                handshake = table.handshake
+                for port, slot in ((23, 0), (22, 2)):
+                    matching = np.flatnonzero((dst_port == port) & handshake)
+                    if len(matching) == 0:
+                        continue
+                    counts[slot] += len(matching)
+                    credentials = table.credentials
+                    counts[slot + 1] += sum(
+                        1 for row in matching.tolist() if credentials[row]
+                    )
+            matching = np.flatnonzero(dst_port == 80)
+            if len(matching) == 0:
+                continue
+            payloads = table.payloads
+            credentials = table.credentials
+            for row in matching.tolist():
+                payload = payloads[row]
+                if not payload:
+                    continue
+                if payload in fingerprint_cache:
+                    identified = fingerprint_cache[payload]
+                else:
+                    identified = _fingerprint(payload)
+                    fingerprint_cache[payload] = identified
+                if identified != "http":
+                    continue
+                counts[4] += 1
+                attempted = bool(credentials[row])
+                key = (payload, 80, attempted)
+                malicious = malicious_cache.get(key)
+                if malicious is None:
+                    malicious = classify(payload, 80, attempted)
+                    malicious_cache[key] = malicious
+                if malicious:
+                    counts[5] += 1
+                stripped = strip_ephemeral_headers(payload)
+                if stripped not in distinct:
+                    # Ascending rows: first hit in this shard wins here;
+                    # cross-shard order is settled in the reduce.
+                    distinct[stripped] = ((vantage_pos, view.index, row), malicious)
+        return counts, distinct
+
+    def reduce(partials):
+        totals = [0, 0, 0, 0, 0, 0]
+        merged: dict[bytes, tuple[tuple[int, int, int], bool]] = {}
+        for counts, distinct in partials:
+            for slot, value in enumerate(counts):
+                totals[slot] += value
+            for stripped, candidate in distinct.items():
+                held = merged.get(stripped)
+                if held is None or candidate[0] < held[0]:
+                    merged[stripped] = candidate
+        distinct_http = {
+            stripped: malicious for stripped, (_key, malicious) in merged.items()
+        }
+        return (*totals, distinct_http)
+
+    return run_shard_wise(map_shard, reduce, dataset)

@@ -8,6 +8,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.analysis.dataset import AnalysisDataset
 
 __all__ = ["VantageSummaryRow", "vantage_summary"]
@@ -38,23 +40,29 @@ def vantage_summary(dataset: AnalysisDataset) -> list[VantageSummaryRow]:
             collection = vantage.stack.name
         groups.setdefault((vantage.network, collection), []).append(vantage)
 
-    for (network, collection), vantages in sorted(groups.items()):
-        sources: set[int] = set()
-        ases: set[int] = set()
-        regions: set[str] = set()
-        ip_total = 0
-        for vantage in vantages:
-            regions.add(vantage.region_code)
-            ip_total += vantage.num_ips
-            for event in dataset.events_for(vantage.vantage_id):
-                sources.add(event.src_ip)
-                ases.add(event.src_asn)
+    group_keys = sorted(groups)
+    if dataset.tables is not None:
+        group_sets = _unique_sources_by_group(dataset, groups, group_keys)
+    else:
+        group_sets = {}
+        for key in group_keys:
+            sources: set[int] = set()
+            ases: set[int] = set()
+            for vantage in groups[key]:
+                for event in dataset.events_for(vantage.vantage_id):
+                    sources.add(event.src_ip)
+                    ases.add(event.src_asn)
+            group_sets[key] = (sources, ases)
+
+    for network, collection in group_keys:
+        vantages = groups[(network, collection)]
+        sources, ases = group_sets[(network, collection)]
         rows.append(
             VantageSummaryRow(
                 network=network,
                 collection=collection,
-                num_regions=len(regions),
-                num_vantage_ips=ip_total,
+                num_regions=len({vantage.region_code for vantage in vantages}),
+                num_vantage_ips=sum(vantage.num_ips for vantage in vantages),
                 unique_scan_ips=len(sources),
                 unique_scan_ases=len(ases),
             )
@@ -73,3 +81,44 @@ def vantage_summary(dataset: AnalysisDataset) -> list[VantageSummaryRow]:
             )
         )
     return rows
+
+
+def _unique_sources_by_group(
+    dataset: AnalysisDataset, groups: dict, group_keys: list
+) -> dict[tuple[str, str], tuple[set[int], set[int]]]:
+    """Shard-wise unique (src_ip, src_asn) sets per deployment group.
+
+    The map-reduce columnar fast path: per shard, ``np.unique`` over
+    each member vantage's address columns; the reduce is a set union, so
+    shard-wise results equal the single-pass row scan exactly.
+    """
+    from repro.experiments.base import run_shard_wise
+
+    member_ids = {
+        key: [vantage.vantage_id for vantage in groups[key]] for key in group_keys
+    }
+
+    def map_shard(view):
+        partial = {}
+        for key in group_keys:
+            sources: set[int] = set()
+            ases: set[int] = set()
+            for vantage_id in member_ids[key]:
+                table = view.tables.get(vantage_id)
+                if table is None or len(table) == 0:
+                    continue
+                sources.update(np.unique(table.src_ip).tolist())
+                ases.update(np.unique(table.src_asn).tolist())
+            if sources or ases:
+                partial[key] = (sources, ases)
+        return partial
+
+    def reduce(partials):
+        merged = {key: (set(), set()) for key in group_keys}
+        for partial in partials:
+            for key, (sources, ases) in partial.items():
+                merged[key][0].update(sources)
+                merged[key][1].update(ases)
+        return merged
+
+    return run_shard_wise(map_shard, reduce, dataset)

@@ -42,7 +42,17 @@ def hourly_matrix(
             table = dataset.tables.get(vantage_id)
             if table is None or not len(table):
                 continue
-            matrix[row] = hourly_volumes(table.timestamps, hours)
+            parts = getattr(table, "parts", None)
+            if parts:
+                # Sharded capture: histogram each mmap'd part and sum.
+                # Bin edges are fixed by (hours,), so per-shard counts
+                # add to exactly the merged-column histogram without
+                # ever concatenating the timestamp column.
+                for _shard_pos, part in parts:
+                    if len(part):
+                        matrix[row] += hourly_volumes(part.timestamps, hours)
+            else:
+                matrix[row] = hourly_volumes(table.timestamps, hours)
         else:
             events = dataset.events_for(vantage_id)
             matrix[row] = hourly_volumes((event.timestamp for event in events), hours)

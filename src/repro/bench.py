@@ -71,6 +71,7 @@ def run_bench(
     emission: str = "batch",
     experiments: Optional[Sequence[str]] = None,
     orchestrate_workers: Optional[Sequence[int]] = None,
+    orchestrate_sweep: bool = False,
     artifact: Optional[str] = None,
     quiet: bool = False,
 ) -> dict:
@@ -79,11 +80,15 @@ def run_bench(
     ``experiments=None`` times every experiment that runs on ``year``'s
     population; pass an explicit list (possibly empty) to restrict it.
     ``orchestrate_workers`` additionally times a full orchestrated
-    collection (simulate → spill → merge, no analysis) at each worker
-    count into the record's ``"orchestrate"`` mapping, so the sharded
-    runner's speedup trajectory is tracked alongside the single-process
-    pipeline.  ``None`` or an empty sequence skips those runs (the CLI
-    defaults to ``1 2 4``).
+    collection (simulate → spill → lazy merge, no analysis) at each
+    worker count.  Each entry in the record's ``"orchestrate"`` mapping
+    is a dict carrying the wall clock, the requested and resolved worker
+    counts, the machine's CPU count, and the per-stage split (plan /
+    simulate / merge), so speedups and merge overhead are both visible
+    across runs.  ``None`` or an empty sequence skips those runs (the
+    CLI defaults to ``1 2 4``).  ``orchestrate_sweep=True`` forces the
+    canonical ``(1, 2, 4)`` sweep and additionally records each count's
+    speedup ratio against the 1-worker run.
     """
     from repro.analysis.dataset import AnalysisDataset
     from repro.cli import EXPERIMENT_YEARS
@@ -105,6 +110,48 @@ def run_bench(
                 f"unknown experiments: {', '.join(unknown)} "
                 f"(choose from {', '.join(ALL_EXPERIMENTS)})"
             )
+
+    config = ExperimentConfig(
+        year=year, scale=scale, telescope_slash24s=telescope_slash24s, seed=seed
+    )
+
+    # Orchestrator timings run FIRST, while this process is lean: fork
+    # workers inherit the parent address space, and forking after the
+    # in-process pipeline has built its datasets measurably slows every
+    # worker (copy-on-write over a fat heap).  A real `cloudwatching
+    # orchestrate` starts from a lean parent; time the same thing.
+    if orchestrate_sweep:
+        orchestrate_workers = (1, 2, 4)
+    orchestrate_records: dict[str, dict] = {}
+    if orchestrate_workers:
+        import shutil
+        import tempfile
+
+        from repro.runner import orchestrate
+
+        for workers in orchestrate_workers:
+            out_dir = tempfile.mkdtemp(prefix=f"cw-bench-orch-{workers}w-")
+            try:
+                started = time.perf_counter()
+                run = orchestrate(
+                    config, workers=workers, out_dir=out_dir, quiet=True
+                )
+                seconds = time.perf_counter() - started
+            finally:
+                shutil.rmtree(out_dir, ignore_errors=True)
+            orchestrate_records[str(workers)] = {
+                "seconds": round(seconds, 4),
+                "workers_requested": workers,
+                "workers": run.stats.workers,
+                "cpu_count": os.cpu_count(),
+                "num_shards": run.stats.num_shards,
+                "events": run.stats.events_total,
+                "plan_seconds": round(run.stats.plan_seconds, 4),
+                "simulate_seconds": round(run.stats.simulate_seconds, 4),
+                "merge_seconds": round(run.stats.merge_seconds, 4),
+            }
+            _say(f"orchestrate --workers {workers} ran in {seconds:.2f}s "
+                 f"(merge {run.stats.merge_seconds:.2f}s)")
 
     stages: dict[str, float] = {}
 
@@ -132,9 +179,6 @@ def run_bench(
     dataset = AnalysisDataset.from_simulation(result)
     stages["dataset"] = time.perf_counter() - started
 
-    config = ExperimentConfig(
-        year=year, scale=scale, telescope_slash24s=telescope_slash24s, seed=seed
-    )
     context = ExperimentContext(
         config=config, deployment=deployment, result=result, dataset=dataset
     )
@@ -153,28 +197,6 @@ def run_bench(
         experiment_timings[experiment_id] = time.perf_counter() - started
         _say(f"{experiment_id} analyzed in {experiment_timings[experiment_id]:.2f}s")
 
-    orchestrate_timings: dict[str, float] = {}
-    orchestrate_shards: dict[str, int] = {}
-    if orchestrate_workers:
-        import shutil
-        import tempfile
-
-        from repro.runner import orchestrate
-
-        for workers in orchestrate_workers:
-            out_dir = tempfile.mkdtemp(prefix=f"cw-bench-orch-{workers}w-")
-            try:
-                started = time.perf_counter()
-                run = orchestrate(
-                    config, workers=workers, out_dir=out_dir, quiet=True
-                )
-                orchestrate_timings[str(workers)] = time.perf_counter() - started
-                orchestrate_shards[str(workers)] = run.stats.num_shards
-            finally:
-                shutil.rmtree(out_dir, ignore_errors=True)
-            _say(f"orchestrate --workers {workers} ran in "
-                 f"{orchestrate_timings[str(workers)]:.2f}s")
-
     record = {
         "timestamp": _timestamp(),
         "kind": "bench",
@@ -190,12 +212,19 @@ def run_bench(
             name: round(value, 4) for name, value in experiment_timings.items()
         },
     }
-    if orchestrate_timings:
-        record["orchestrate"] = {
-            workers: round(value, 4)
-            for workers, value in orchestrate_timings.items()
-        }
-        record["orchestrate_shards"] = orchestrate_shards
+    if orchestrate_records:
+        record["orchestrate"] = orchestrate_records
+        baseline = orchestrate_records.get("1")
+        if baseline and len(orchestrate_records) > 1:
+            # Speedup vs the 1-worker run: >1.0 means the sharded path
+            # beat single-worker wall clock at that worker count.
+            record["orchestrate_speedup"] = {
+                workers: round(baseline["seconds"] / entry["seconds"], 4)
+                for workers, entry in orchestrate_records.items()
+                if workers != "1" and entry["seconds"] > 0
+            }
+            for workers, ratio in sorted(record["orchestrate_speedup"].items()):
+                _say(f"orchestrate speedup {workers}w vs 1w: {ratio:.2f}x")
     written = append_record(record, artifact)
     _say(
         f"build total {record['stages_total']:.2f}s, "
@@ -319,6 +348,10 @@ def main(argv: Optional[list[str]] = None) -> int:
                         metavar="N",
                         help="worker counts to time the orchestrator at "
                              "(default: skip; the CLI bench uses 1 2 4)")
+    parser.add_argument("--orchestrate-sweep", action="store_true",
+                        help="time the canonical 1/2/4-worker orchestrator sweep "
+                             "in one invocation and record speedup ratios vs 1 "
+                             "worker (overrides --orchestrate-workers)")
     parser.add_argument("--stream", action="store_true",
                         help="run the streaming sustained-ingest bench instead "
                              "of the simulate→analyze bench")
@@ -349,6 +382,7 @@ def main(argv: Optional[list[str]] = None) -> int:
                 emission=args.emission,
                 experiments=args.experiments,
                 orchestrate_workers=tuple(args.orchestrate_workers),
+                orchestrate_sweep=args.orchestrate_sweep,
                 artifact=args.output,
             )
     except ValueError as error:

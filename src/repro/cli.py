@@ -90,6 +90,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        default=(1, 2, 4), metavar="N",
                        help="worker counts to time the orchestrator at "
                             "(default: 1 2 4; pass no values to skip)")
+    bench.add_argument("--orchestrate-sweep", action="store_true",
+                       help="time the canonical 1/2/4-worker orchestrator sweep "
+                            "and record speedup ratios vs 1 worker")
     bench.add_argument("--stream", action="store_true",
                        help="benchmark sustained ingest through the streaming "
                             "subsystem instead of the simulate→analyze path")
@@ -286,6 +289,7 @@ def _command_bench(args: argparse.Namespace) -> int:
         year=args.year,
         emission=args.emission,
         orchestrate_workers=tuple(args.orchestrate_workers),
+        orchestrate_sweep=args.orchestrate_sweep,
         artifact=args.output,
     )
     return 0

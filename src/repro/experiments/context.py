@@ -17,7 +17,13 @@ from repro.sim.clock import WEEK_2020, WEEK_2021, WEEK_2022, ObservationWindow
 from repro.sim.engine import SimulationConfig, SimulationResult, run_simulation
 from repro.sim.rng import RngHub
 
-__all__ = ["ExperimentConfig", "ExperimentContext", "get_context", "clear_context_cache"]
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentContext",
+    "get_context",
+    "remember_context",
+    "clear_context_cache",
+]
 
 _WINDOWS: dict[int, ObservationWindow] = {2020: WEEK_2020, 2021: WEEK_2021, 2022: WEEK_2022}
 
@@ -71,6 +77,18 @@ def get_context(config: Optional[ExperimentConfig] = None) -> ExperimentContext:
     )
     _CACHE[config] = context
     return context
+
+
+def remember_context(context: ExperimentContext) -> None:
+    """Adopt an externally built context into the memo cache.
+
+    The orchestrator (and drivers that invoke it, like X3) build
+    contexts without going through :func:`get_context`; registering them
+    here lets every later ``get_context(config)`` reuse the sharded,
+    memory-mapped build instead of re-simulating in-process.  A context
+    already memoized for the same configuration wins.
+    """
+    _CACHE.setdefault(context.config, context)
 
 
 def clear_context_cache() -> None:

@@ -3,18 +3,133 @@
 The paper eyeballs the 2020/2021/2022 repeats; this driver puts the
 headline metrics for all three years side by side so stability (and the
 documented year-specific anomalies) are visible in one table.
+
+The off-base years (2020 and 2022 by default) are *not* re-simulated
+serially in-process: each one is built through the sharded orchestrator
+(:func:`repro.runner.orchestrate`) into a persistent content-addressed
+run directory, so the spills checkpoint across invocations and the
+merge is the lazy zero-copy path.  On top of that sits the scheduler's
+value cache: once a year's headline metrics are computed against a
+dataset digest they are served from disk without touching the shards at
+all.  A cold X3 pays two orchestrated builds; every later X3 on the
+same machine pays two ``run.json`` reads.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 from dataclasses import replace
+from pathlib import Path
 from typing import Optional
 
+from repro.analysis.dataset import AnalysisDataset
 from repro.analysis.overlap import scanner_overlap
 from repro.analysis.ports import methodology_numbers, protocol_breakdown
 from repro.experiments.base import ExperimentOutput, resolve_context
-from repro.experiments.context import ExperimentContext, get_context
+from repro.experiments.context import (
+    _CACHE,
+    ExperimentConfig,
+    ExperimentContext,
+    remember_context,
+)
 from repro.reporting.tables import render_table
+
+#: Environment variable overriding where orchestrated year runs persist.
+RUN_CACHE_ENV = "CLOUDWATCHING_RUN_CACHE"
+
+#: Cache namespace for the per-year headline-metric records.
+_METRICS_ID = "X3-metrics"
+
+
+def _run_cache_dir(config: ExperimentConfig) -> Path:
+    """Persistent per-configuration run directory for orchestrated years."""
+    root = os.environ.get(RUN_CACHE_ENV) or (
+        Path(tempfile.gettempdir()) / "cloudwatching-run-cache"
+    )
+    name = (
+        f"y{config.year}-s{config.scale:g}"
+        f"-t{config.telescope_slash24s}-seed{config.seed}"
+    )
+    return Path(root) / name
+
+
+def _completed_run_digest(run_dir: Path, config: ExperimentConfig) -> Optional[str]:
+    """Dataset digest of a prior full-coverage run, if one is on disk.
+
+    Reads only ``run.json`` — no shard verification.  That is safe
+    because the digest merely addresses the metrics cache: a stale or
+    corrupted run directory yields a cache miss (or no digest), and the
+    orchestrator's resume path re-verifies every shard manifest before
+    trusting it.
+    """
+    try:
+        with open(run_dir / "run.json", "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if record.get("format") != "cloudwatching-run/1":
+        return None
+    expected = {
+        "year": config.year,
+        "scale": config.scale,
+        "telescope_slash24s": config.telescope_slash24s,
+        "seed": config.seed,
+    }
+    if record.get("config") != expected or record.get("coverage") != 1.0:
+        return None
+    digest = record.get("dataset_digest")
+    return digest if isinstance(digest, str) else None
+
+
+def _headline_metrics(dataset: AnalysisDataset) -> dict[str, float]:
+    """The six headline numbers X3 tracks across years."""
+    overlap = {row.port: row for row in scanner_overlap(dataset, ports=(22, 23))}
+    numbers = methodology_numbers(dataset)
+    breakdown = {row.port: row for row in protocol_breakdown(dataset)}
+    return {
+        "ssh22 tel∩cloud": overlap[22].telescope_cloud_pct or 0.0,
+        "telnet23 tel∩cloud": overlap[23].telescope_cloud_pct or 0.0,
+        "~HTTP share port 80": breakdown[80].unexpected_pct,
+        "telnet non-auth": numbers.telnet_non_auth_pct,
+        "ssh non-auth": numbers.ssh_non_auth_pct,
+        "http80 non-exploit": numbers.http80_non_exploit_pct,
+    }
+
+
+def _year_metrics(config: ExperimentConfig) -> dict[str, float]:
+    """Headline metrics for one off-base year, orchestrated and cached.
+
+    Resolution order: the in-process context memo, then the on-disk
+    metrics cache keyed on a completed run's dataset digest, then an
+    orchestrated (sharded, resumable) build whose result is stored back
+    into both caches.
+    """
+    # Imported lazily: the runner package imports the experiments
+    # package, so a module-level import here would be circular.
+    from repro.runner.orchestrator import orchestrate
+    from repro.runner.scheduler import cache_key, load_cached_value, store_cached_value
+
+    memoized = _CACHE.get(config)
+    if memoized is not None:
+        return _headline_metrics(memoized.dataset)
+
+    run_dir = _run_cache_dir(config)
+    cache_dir = run_dir / "cache"
+    digest = _completed_run_digest(run_dir, config)
+    if digest is not None:
+        cached = load_cached_value(cache_dir, _METRICS_ID, cache_key(digest, _METRICS_ID))
+        if cached is not None:
+            return cached
+
+    run = orchestrate(config, workers="auto", out_dir=run_dir, resume=True, quiet=True)
+    remember_context(run.context)
+    metrics = _headline_metrics(run.context.dataset)
+    store_cached_value(
+        cache_dir, _METRICS_ID, cache_key(run.dataset_digest, _METRICS_ID), metrics
+    )
+    return metrics
 
 
 def run(context: Optional[ExperimentContext] = None) -> ExperimentOutput:
@@ -23,21 +138,10 @@ def run(context: Optional[ExperimentContext] = None) -> ExperimentOutput:
 
     metrics: dict[int, dict[str, float]] = {}
     for year in (2020, 2021, 2022):
-        year_context = (
-            context if year == base.year else get_context(replace(base, year=year))
-        )
-        dataset = year_context.dataset
-        overlap = {row.port: row for row in scanner_overlap(dataset, ports=(22, 23))}
-        numbers = methodology_numbers(dataset)
-        breakdown = {row.port: row for row in protocol_breakdown(dataset)}
-        metrics[year] = {
-            "ssh22 tel∩cloud": overlap[22].telescope_cloud_pct or 0.0,
-            "telnet23 tel∩cloud": overlap[23].telescope_cloud_pct or 0.0,
-            "~HTTP share port 80": breakdown[80].unexpected_pct,
-            "telnet non-auth": numbers.telnet_non_auth_pct,
-            "ssh non-auth": numbers.ssh_non_auth_pct,
-            "http80 non-exploit": numbers.http80_non_exploit_pct,
-        }
+        if year == base.year:
+            metrics[year] = _headline_metrics(context.dataset)
+        else:
+            metrics[year] = _year_metrics(replace(base, year=year))
 
     names = list(next(iter(metrics.values())))
     rows = [

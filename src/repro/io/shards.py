@@ -7,21 +7,35 @@ telescope aggregate, and a manifest describing exactly what was run.
 A shard directory contains three files::
 
     shard-0003/
-        columns.npz      # numeric columns + object-pool index columns
-        objects.ndjson   # per-vantage object pools + telescope counters
+        columns.npz      # banked columns + pool-index banks + telescope
+        objects.ndjson   # vantage directory + shard-global object pools
         manifest.json    # written last; its presence marks completion
 
+Format v2 stores *banked* columns: one contiguous array per column for
+the whole shard (``"bank|<column>"``), with each vantage owning a
+recorded ``[offset, offset+rows)`` run of every bank.  v1 spilled one
+npz member per vantage per column — ~7,400 tiny zip members for a
+full-scale shard — and the per-member bookkeeping dominated both the
+spill (``np.savez``) and the reload.  Banks cut the member count to a
+constant (7 numeric + 3 pool-index + telescope), which also makes every
+member big enough to be worth memory-mapping on read
+(:mod:`repro.io.lazy`).
+
 * **columns.npz** stores the seven numeric :class:`~repro.io.table.EventTable`
-  columns per vantage under ``"<vantage_id>|<column>"`` keys, plus an
-  ``int32`` pool-index column per object column
-  (``"<vantage_id>|<column>.idx"``) and the telescope's per-destination
-  distinct-source arrays (``"__telescope__|dst_unique|<port>"``).
-* **objects.ndjson** stores, per vantage, the deduplicated *pools* the
-  index columns point into (payload bytes base64-encoded, credential
-  pair sequences, command sequences).  Payloads repeat massively across
-  sessions, so pooling keeps the JSON a small fraction of the column
-  data.  Telescope per-source hit counters and IP→AS attribution ride
-  along as dedicated records.
+  column banks, an ``int32`` pool-index bank per object column
+  (``"bank|<column>.idx"``) pointing into the shard-global pools, the
+  per-vantage bank offsets (``"bank|offsets"``), and the telescope
+  counters as arrays: per-destination distinct-source counts
+  (``"__telescope__|dst_unique|<port>"``), per-source hit pairs
+  (``"__telescope__|hits|<port>"``), and IP→AS attribution
+  (``"__telescope__|asn"``).
+* **objects.ndjson** stores a format header, the vantage directory (one
+  record listing every vantage's identity and row count — all a lazy
+  open needs), and one *pool* record per object column holding the
+  deduplicated values the index banks point into (payload bytes
+  base64-encoded, credential pair sequences, command sequences).
+  Payloads repeat massively across sessions, so pooling keeps the JSON
+  a small fraction of the column data.
 * **manifest.json** records the run-configuration digest, the shard's
   population slice, the RNG stream ids the worker consumed, per-vantage
   event counts, and the SHA-256 of the two data files.  It is written
@@ -47,8 +61,7 @@ from typing import Mapping, Optional, Union
 import numpy as np
 
 from repro.honeypots.telescope import TelescopeCapture
-from repro.io.table import EventTable
-from repro.sim.events import NetworkKind
+from repro.io.table import _DTYPES, EventTable
 
 __all__ = [
     "SHARD_FORMAT",
@@ -62,7 +75,7 @@ __all__ = [
 ]
 
 #: Format identifier embedded in every manifest and NDJSON header.
-SHARD_FORMAT = "cloudwatching-shard/1"
+SHARD_FORMAT = "cloudwatching-shard/2"
 
 _COLUMNS_FILE = "columns.npz"
 _OBJECTS_FILE = "objects.ndjson"
@@ -88,19 +101,6 @@ def file_sha256(path: Union[str, Path]) -> str:
 # ----------------------------------------------------------------------
 # object-pool encoding
 # ----------------------------------------------------------------------
-
-def _pool_column(column: np.ndarray) -> tuple[list, np.ndarray]:
-    """Deduplicate an object column into (pool, int32 index array)."""
-    pool: dict = {}
-    indices = np.empty(len(column), dtype=np.int32)
-    for row, value in enumerate(column):
-        slot = pool.get(value)
-        if slot is None:
-            slot = len(pool)
-            pool[value] = slot
-        indices[row] = slot
-    return list(pool), indices
-
 
 def _encode_pool(name: str, pool: list) -> list:
     if name == "payload":
@@ -139,47 +139,98 @@ def write_shard(
     shard/population slice, RNG stream ids); this function adds the
     format version, event counts, and data-file digests, and writes the
     manifest *last* so completion is atomic.
+
+    The spill streams column *runs* (:meth:`EventTable.iter_column_runs`)
+    directly into preallocated banks — no per-vantage consolidation, no
+    broadcast temporaries — and pools scalar runs with a single lookup,
+    so a campaign batch repeated across thousands of sessions costs O(1)
+    in the pooling loop.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
 
-    arrays: dict[str, np.ndarray] = {}
-    object_records: list[dict] = []
+    order = [vantage_id for vantage_id in sorted(tables)
+             if len(tables[vantage_id])]
+    offsets = np.zeros(len(order) + 1, dtype=np.int64)
+    for position, vantage_id in enumerate(order):
+        offsets[position + 1] = offsets[position] + len(tables[vantage_id])
+    total_rows = int(offsets[-1])
+
+    arrays: dict[str, np.ndarray] = {"bank|offsets": offsets}
+    for name in _NUMERIC:
+        dtype = _DTYPES[name]
+        bank = np.empty(total_rows, dtype=dtype)
+        position = 0
+        for vantage_id in order:
+            for value, start, stop in tables[vantage_id].iter_column_runs(name):
+                run = stop - start
+                if isinstance(value, np.ndarray):
+                    bank[position:position + run] = value[start:stop]
+                else:
+                    bank[position:position + run] = value
+                position += run
+        arrays[f"bank|{name}"] = bank
+
+    pools: dict[str, list] = {}
+    for name in _OBJECT:
+        pool: dict = {}
+        index_bank = np.empty(total_rows, dtype=np.int32)
+        position = 0
+        for vantage_id in order:
+            for value, start, stop in tables[vantage_id].iter_column_runs(name):
+                run = stop - start
+                if isinstance(value, np.ndarray) and value.dtype == object:
+                    for item in value[start:stop].tolist():
+                        slot = pool.get(item)
+                        if slot is None:
+                            slot = len(pool)
+                            pool[item] = slot
+                        index_bank[position] = slot
+                        position += 1
+                elif isinstance(value, (bytes, tuple)):
+                    # Scalar broadcast run: one pool lookup for the lot.
+                    slot = pool.get(value)
+                    if slot is None:
+                        slot = len(pool)
+                        pool[value] = slot
+                    index_bank[position:position + run] = slot
+                    position += run
+                else:
+                    for item in list(value):
+                        slot = pool.get(item)
+                        if slot is None:
+                            slot = len(pool)
+                            pool[item] = slot
+                        index_bank[position] = slot
+                        position += 1
+        arrays[f"bank|{name}.idx"] = index_bank
+        pools[name] = list(pool)
+
+    vantage_records = []
     per_vantage_counts: dict[str, int] = {}
-    for vantage_id in sorted(tables):
+    for vantage_id in order:
         table = tables[vantage_id]
-        if len(table) == 0:
-            continue
         per_vantage_counts[vantage_id] = len(table)
-        for name in _NUMERIC:
-            arrays[f"{vantage_id}|{name}"] = getattr(table, name)
-        record = {
+        vantage_records.append({
             "vantage_id": vantage_id,
             "network": table.network,
             "kind": table.network_kind.value,
             "region": table.region,
             "rows": len(table),
-        }
-        for name, column in (("payload", table.payloads),
-                             ("credentials", table.credentials),
-                             ("commands", table.commands)):
-            pool, indices = _pool_column(column)
-            arrays[f"{vantage_id}|{name}.idx"] = indices
-            record[f"{name}_pool"] = _encode_pool(name, pool)
-        object_records.append(record)
+        })
 
     telescope_summary: dict = {}
     if telescope is not None:
         for port in telescope.ports():
             counter = telescope.port_src_hits[port]
-            object_records.append({
-                "telescope_port": port,
-                "hits": [[int(src), int(hits)] for src, hits in sorted(counter.items())],
-            })
-        object_records.append({
-            "telescope_asn": [[int(src), int(asn)]
-                              for src, asn in sorted(telescope.asn_of_src.items())],
-        })
+            pairs = sorted(counter.items())
+            arrays[f"__telescope__|hits|{port}"] = np.asarray(
+                pairs, dtype=np.int64
+            ).reshape(len(pairs), 2)
+        asn_pairs = sorted(telescope.asn_of_src.items())
+        arrays["__telescope__|asn"] = np.asarray(
+            asn_pairs, dtype=np.int64
+        ).reshape(len(asn_pairs), 2)
         for port, array in sorted(telescope._port_dst_unique.items()):
             arrays[f"__telescope__|dst_unique|{port}"] = array
         telescope_summary = {
@@ -192,14 +243,18 @@ def write_shard(
     objects_path = directory / _OBJECTS_FILE
     with open(objects_path, "w", encoding="utf-8") as handle:
         handle.write(json.dumps({"format": SHARD_FORMAT}) + "\n")
-        for record in object_records:
+        handle.write(json.dumps(
+            {"vantages": vantage_records}, separators=(",", ":")
+        ) + "\n")
+        for name in _OBJECT:
+            record = {"pool": name, "values": _encode_pool(name, pools[name])}
             handle.write(json.dumps(record, separators=(",", ":")) + "\n")
 
     manifest = {
         "format": SHARD_FORMAT,
         **manifest_extra,
         "events": {
-            "total": int(sum(per_vantage_counts.values())),
+            "total": total_rows,
             "per_vantage": per_vantage_counts,
         },
         "telescope": telescope_summary,
@@ -268,35 +323,16 @@ def verify_shard(
 
 
 def load_shard_tables(directory: Union[str, Path]) -> dict[str, EventTable]:
-    """Rebuild the shard's per-vantage :class:`EventTable` objects."""
-    directory = Path(directory)
-    tables: dict[str, EventTable] = {}
-    with np.load(directory / _COLUMNS_FILE) as archive:
-        columns = {key: archive[key] for key in archive.files}
-    with open(directory / _OBJECTS_FILE, "r", encoding="utf-8") as handle:
-        header = json.loads(handle.readline())
-        if header.get("format") != SHARD_FORMAT:
-            raise ValueError(f"unsupported shard format: {header.get('format')!r}")
-        for line in handle:
-            record = json.loads(line)
-            vantage_id = record.get("vantage_id")
-            if vantage_id is None:
-                continue  # telescope records are merged separately
-            table = EventTable(
-                vantage_id,
-                record["network"],
-                NetworkKind(record["kind"]),
-                record["region"],
-            )
-            chunk = {
-                name: columns[f"{vantage_id}|{name}"] for name in _NUMERIC
-            }
-            for name in _OBJECT:
-                pool = _decode_pool(name, record[f"{name}_pool"])
-                chunk[name] = pool[columns[f"{vantage_id}|{name}.idx"]]
-            table.append_view(chunk, 0, record["rows"])
-            tables[vantage_id] = table
-    return tables
+    """Rebuild the shard's per-vantage :class:`EventTable` objects.
+
+    The returned tables are *lazy*: their chunks resolve through the
+    shard's memory-mapped column banks (:class:`repro.io.lazy.ShardBank`),
+    so nothing beyond the vantage directory is read until a column is
+    accessed.
+    """
+    from repro.io.lazy import open_shard
+
+    return open_shard(directory).tables()
 
 
 def merge_telescope_shard(
@@ -305,24 +341,22 @@ def merge_telescope_shard(
     """Fold one shard's telescope aggregate into ``telescope`` in place.
 
     All telescope quantities are sums over sources/destinations, so
-    shard merge order does not matter.
+    shard merge order does not matter.  v2 keeps the counters as npz
+    arrays, so the merge never touches the (large) object-pool JSON.
     """
-    directory = Path(directory)
-    with open(directory / _OBJECTS_FILE, "r", encoding="utf-8") as handle:
-        handle.readline()  # format header
-        for line in handle:
-            record = json.loads(line)
-            if "telescope_port" in record:
-                port = int(record["telescope_port"])
-                counter = telescope.port_src_hits.setdefault(port, Counter())
-                for src, hits in record["hits"]:
-                    counter[int(src)] += int(hits)
-            elif "telescope_asn" in record:
-                for src, asn in record["telescope_asn"]:
-                    telescope.asn_of_src[int(src)] = int(asn)
-    with np.load(directory / _COLUMNS_FILE) as archive:
-        for key in archive.files:
-            if not key.startswith("__telescope__|dst_unique|"):
-                continue
-            port = int(key.rsplit("|", 1)[1])
-            telescope.record_destination_sources(port, archive[key])
+    from repro.io.lazy import open_shard
+
+    bank = open_shard(directory)
+    for key, array in bank.telescope_arrays():
+        _, kind, *rest = key.split("|")
+        if kind == "hits":
+            port = int(rest[0])
+            counter = telescope.port_src_hits.setdefault(port, Counter())
+            for src, hits in np.asarray(array).tolist():
+                counter[int(src)] += int(hits)
+        elif kind == "asn":
+            for src, asn in np.asarray(array).tolist():
+                telescope.asn_of_src[int(src)] = int(asn)
+        elif kind == "dst_unique":
+            port = int(rest[0])
+            telescope.record_destination_sources(port, np.asarray(array))

@@ -22,6 +22,12 @@ Design points:
   use the column accessors directly and never pay for row objects.
 * **Scalar compatibility** — :meth:`append_event` keeps the one-row API
   alive for the live replayer, the scalar capture fallback, and tests.
+* **Per-column consolidation** — columns consolidate independently, so
+  an analysis that reads only ``src_ip`` never pays for decoding the
+  payload/credential columns.  A chunk's column source may be any
+  mapping (``chunk[name]``), which is how memory-mapped shard banks
+  (:mod:`repro.io.lazy`) plug lazily-loaded columns into the same
+  machinery.
 """
 
 from __future__ import annotations
@@ -141,27 +147,35 @@ class EventTable:
 
         The orchestrator's merge layer: shard k's rows land before shard
         k+1's, so concatenating contiguous-population shards reproduces
-        the single-process row order exactly.  Empty shard tables are
-        legal and contribute nothing.  The merge is zero-copy — chunk
-        references are shared with the inputs, so the inputs must not be
-        appended to afterwards (shard loads never are).
+        the single-process row order exactly.  The merge is zero-copy —
+        chunk references are shared with the inputs, so the inputs must
+        not be appended to afterwards (shard loads never are).
 
-        All tables must agree on the vantage identity fields; the merged
-        table raises ``ValueError`` otherwise (shards of different
-        vantages cannot be one capture).
+        Edge cases are legal rather than the caller's problem: an empty
+        parts list yields a valid zero-row table with anonymous
+        identity, and zero-row parts contribute nothing (they are
+        skipped before the identity check, since a vantage absent from
+        a shard spills an identity-less placeholder).  Tables *with*
+        rows must agree on the vantage identity fields; the merge
+        raises ``ValueError`` otherwise (shards of different vantages
+        cannot be one capture).
         """
         tables = list(tables)
-        if not tables:
-            raise ValueError("concat needs at least one table")
-        first = tables[0]
-        merged = cls(first.vantage_id, first.network, first.network_kind, first.region)
-        for table in tables:
+        populated = [table for table in tables if table._length]
+        anchor = populated[0] if populated else (tables[0] if tables else None)
+        if anchor is None:
+            # Zero parts: a valid empty capture with anonymous identity.
+            return cls("", "", NetworkKind.CLOUD, "")
+        merged = cls(anchor.vantage_id, anchor.network,
+                     anchor.network_kind, anchor.region)
+        reference = (anchor.vantage_id, anchor.network,
+                     anchor.network_kind, anchor.region)
+        for table in populated:
             identity = (table.vantage_id, table.network, table.network_kind, table.region)
-            if identity != (first.vantage_id, first.network,
-                            first.network_kind, first.region):
+            if identity != reference:
                 raise ValueError(
                     f"vantage identity mismatch in concat: {identity!r} != "
-                    f"{(first.vantage_id, first.network, first.network_kind, first.region)!r}"
+                    f"{reference!r}"
                 )
             merged._chunks.extend(table._chunks)
             merged._length += table._length
@@ -255,12 +269,31 @@ class EventTable:
     # consolidation + column accessors
     # ------------------------------------------------------------------
 
-    def _consolidate(self) -> dict[str, np.ndarray]:
-        if self._columns is not None:
-            return self._columns
-        columns: dict[str, np.ndarray] = {}
-        for name in _NUMERIC_COLUMNS:
-            dtype = _DTYPES[name]
+    def _consolidate_column(self, name: str) -> np.ndarray:
+        """Consolidate one column, independently of the others.
+
+        Per-column laziness matters for memory-mapped shards: reading
+        ``src_ip`` must not force the object pools to decode.  A single
+        chunk covering its whole array at the target dtype is returned
+        as-is (zero-copy — possibly a read-only memmap view), so column
+        accessors must be treated as read-only.
+        """
+        columns = self._columns
+        if columns is None:
+            columns = self._columns = {}
+        array = columns.get(name)
+        if array is not None:
+            return array
+        dtype = _DTYPES.get(name, object)
+        if name in _OBJECT_COLUMNS:
+            parts = []
+            for chunk, start, stop in self._chunks:
+                value = chunk[name]
+                if isinstance(value, np.ndarray) and value.dtype == object:
+                    parts.append(value[start:stop])
+                else:
+                    parts.append(_object_column(stop - start, value))
+        else:
             parts = []
             for chunk, start, stop in self._chunks:
                 value = chunk[name]
@@ -268,64 +301,75 @@ class EventTable:
                     parts.append(value[start:stop].astype(dtype, copy=False))
                 else:
                     parts.append(np.full(stop - start, value, dtype=dtype))
-            columns[name] = (
-                np.concatenate(parts) if parts else np.empty(0, dtype=dtype)
-            )
-        for name in _OBJECT_COLUMNS:
-            parts = []
-            for chunk, start, stop in self._chunks:
-                value = chunk[name]
-                if isinstance(value, np.ndarray):
-                    value = value[start:stop]
-                parts.append(_object_column(stop - start, value))
-            columns[name] = (
-                np.concatenate(parts) if parts else np.empty(0, dtype=object)
-            )
-        self._columns = columns
-        return columns
+        if not parts:
+            array = np.empty(0, dtype=dtype)
+        elif len(parts) == 1:
+            array = parts[0]
+        else:
+            array = np.concatenate(parts)
+        columns[name] = array
+        return array
+
+    def _consolidate(self) -> dict[str, np.ndarray]:
+        for name in _NUMERIC_COLUMNS + _OBJECT_COLUMNS:
+            self._consolidate_column(name)
+        return self._columns
+
+    def iter_column_runs(self, name: str) -> Iterator[tuple[object, int, int]]:
+        """Yield ``(value, start, stop)`` runs of one column, unconsolidated.
+
+        ``value`` is the chunk's column source: an array whose
+        ``[start, stop)`` range belongs to this table, or a scalar
+        broadcast across the run.  The shard spill writer streams runs
+        straight into its column banks, so a scalar run (one payload
+        repeated across a campaign batch) costs O(1) instead of
+        materializing ``stop - start`` object references first.
+        """
+        for chunk, start, stop in self._chunks:
+            yield chunk[name], start, stop
 
     def __len__(self) -> int:
         return self._length
 
     @property
     def timestamps(self) -> np.ndarray:
-        return self._consolidate()["timestamps"]
+        return self._consolidate_column("timestamps")
 
     @property
     def src_ip(self) -> np.ndarray:
-        return self._consolidate()["src_ip"]
+        return self._consolidate_column("src_ip")
 
     @property
     def src_asn(self) -> np.ndarray:
-        return self._consolidate()["src_asn"]
+        return self._consolidate_column("src_asn")
 
     @property
     def dst_ip(self) -> np.ndarray:
-        return self._consolidate()["dst_ip"]
+        return self._consolidate_column("dst_ip")
 
     @property
     def dst_port(self) -> np.ndarray:
-        return self._consolidate()["dst_port"]
+        return self._consolidate_column("dst_port")
 
     @property
     def transport_code(self) -> np.ndarray:
-        return self._consolidate()["transport_code"]
+        return self._consolidate_column("transport_code")
 
     @property
     def handshake(self) -> np.ndarray:
-        return self._consolidate()["handshake"]
+        return self._consolidate_column("handshake")
 
     @property
     def payloads(self) -> np.ndarray:
-        return self._consolidate()["payload"]
+        return self._consolidate_column("payload")
 
     @property
     def credentials(self) -> np.ndarray:
-        return self._consolidate()["credentials"]
+        return self._consolidate_column("credentials")
 
     @property
     def commands(self) -> np.ndarray:
-        return self._consolidate()["commands"]
+        return self._consolidate_column("commands")
 
     # ------------------------------------------------------------------
     # row materialization

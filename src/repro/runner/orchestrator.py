@@ -12,11 +12,16 @@ to disk (:mod:`repro.io.shards`).  The division of labor:
   digest are skipped (the checkpoint/resume layer); the rest run on a
   process pool, each retried up to ``max_retries`` times before the run
   degrades to partial coverage instead of aborting.
-* **merge** — per-vantage :meth:`~repro.io.table.EventTable.concat` in
-  shard order (contiguous shards → single-process row order), telescope
-  aggregates summed, and the parent's deterministic phase-1/2 state
-  (sources, crawled engines — computed once at plan time and shared
-  with fork workers copy-on-write) completing a full experiment context.
+* **merge** — *lazy and zero-copy*: each shard opens as a memory-mapped
+  column bank (:mod:`repro.io.lazy`) and every vantage's capture becomes
+  a :class:`~repro.io.lazy.ShardedEventTable` over the mapped spills in
+  shard order (contiguous shards → single-process row order).  No column
+  data is read at merge time; telescope aggregates are summed from npz
+  counters, and the parent's deterministic phase-1/2 state (sources,
+  crawled engines — computed once at plan time and shared with fork
+  workers copy-on-write) completes a full experiment context.  The
+  merged dataset keeps its per-shard views and the worker budget so
+  map-reduce drivers (:mod:`repro.experiments.base`) can fan back out.
 
 The merged dataset's identity is the ``dataset_digest``: the config
 digest plus every completed shard's data-file hashes (and the identity
@@ -43,6 +48,7 @@ from repro.io.shards import (
     shard_dir_name,
     verify_shard,
 )
+from repro.io.lazy import ShardedEventTable
 from repro.io.table import EventTable
 from repro.runner.plan import ShardPlan, config_digest, plan_shards
 from repro.runner.worker import build_task, run_shard, set_fork_state
@@ -119,6 +125,14 @@ def _fork_context():
         return multiprocessing.get_context()
 
 
+def _available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return os.cpu_count() or 1
+
+
 def _run_pending(
     tasks: list[dict],
     workers: int,
@@ -131,6 +145,14 @@ def _run_pending(
     A broken pool (e.g. a worker killed outright) fails every in-flight
     future; those count as attempts and the loop rebuilds the pool for
     whatever retry budget remains.
+
+    Submission is throttled to the machine's *available* CPUs: a pool of
+    N worker processes is only fed min(N, cpus) shards at a time.  CPU
+    oversubscription buys no parallelism — concurrent CPU-bound shards
+    on one core just timeslice and thrash caches (measurably slower than
+    running them back to back) — while the idle standby processes still
+    absorb retries and give every shard a fresh address space.  On
+    machines with cpus >= workers the throttle never engages.
     """
     manifests: dict[int, dict] = {}
     errors: dict[int, str] = {}
@@ -138,19 +160,31 @@ def _run_pending(
     retries = 0
     pending = list(tasks)
     context = _fork_context()
+    inflight_cap = max(1, min(workers, _available_cpus()))
     while pending:
         round_tasks, pending = pending, []
         with ProcessPoolExecutor(
             max_workers=min(workers, len(round_tasks)), mp_context=context
         ) as pool:
-            futures = {
-                pool.submit(run_shard, task): task for task in round_tasks
-            }
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            queue = list(round_tasks)
+            futures: dict = {}
+            while queue or futures:
+                while queue and len(futures) < inflight_cap:
+                    task = queue.pop(0)
+                    try:
+                        futures[pool.submit(run_shard, task)] = task
+                    except Exception:  # noqa: BLE001 - pool broke mid-round
+                        # Unsubmitted work is not an attempt: requeue it
+                        # for the rebuilt pool.  In-flight futures still
+                        # resolve (as failures) below.
+                        pending.append(task)
+                        pending.extend(queue)
+                        queue.clear()
+                if not futures:
+                    continue
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
                 for future in done:
-                    task = futures[future]
+                    task = futures.pop(future)
                     index = task["shard_index"]
                     try:
                         manifests[index] = future.result()
@@ -272,7 +306,11 @@ def orchestrate(
     if not manifests:
         raise RuntimeError("no shard completed; nothing to merge")
 
-    # ---- merge (reuses the plan phase's sources/engines) ----
+    # ---- merge (lazy: no column data is read here) ----
+    # Shards open as memory-mapped banks; each vantage's capture becomes
+    # a ShardedEventTable whose chunks point into the mapped spills, so
+    # the merge is O(#vantages) bookkeeping regardless of event volume.
+    # A merged column materializes only if an experiment asks for it.
     started = time.perf_counter()
     telescope = (
         TelescopeCapture(deployment.telescope)
@@ -288,10 +326,13 @@ def orchestrate(
     captures: dict[str, VantageCapture] = {}
     for vantage in deployment.honeypots:
         capture = VantageCapture(vantage)
-        parts = [tables[vantage.vantage_id]
-                 for tables in shard_tables if vantage.vantage_id in tables]
-        if parts:
-            capture.table = EventTable.concat([capture.table, *parts])
+        merged = ShardedEventTable.for_vantage(vantage)
+        for shard_pos, tables in enumerate(shard_tables):
+            part = tables.get(vantage.vantage_id)
+            if part is not None and len(part):
+                merged.add_part(shard_pos, part)
+        if merged.parts:
+            capture.table = merged
         captures[vantage.vantage_id] = capture
     result = SimulationResult(
         config=simulation_config,
@@ -307,7 +348,9 @@ def orchestrate(
         config=config,
         deployment=deployment,
         result=result,
-        dataset=AnalysisDataset.from_simulation(result),
+        dataset=AnalysisDataset.from_simulation(
+            result, shard_tables=shard_tables, map_workers=workers
+        ),
     )
     stats.events_total = result.total_events()
     stats.merge_seconds = time.perf_counter() - started
@@ -327,6 +370,16 @@ def orchestrate(
         "num_shards": num_shards,
         "workers": workers,
         "workers_requested": workers_requested,
+        "cpu_count": os.cpu_count(),
+        "stats": {
+            "plan_seconds": stats.plan_seconds,
+            "simulate_seconds": stats.simulate_seconds,
+            "merge_seconds": stats.merge_seconds,
+            "total_seconds": stats.total_seconds,
+            "skipped": stats.skipped,
+            "simulated": stats.simulated,
+            "retries": stats.retries,
+        },
         "shards": {
             str(plan.shard_index): {
                 "spec_range": list(plan.spec_range),

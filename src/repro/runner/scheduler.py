@@ -35,7 +35,14 @@ from repro.experiments import ALL_EXPERIMENTS
 from repro.experiments.base import ExperimentOutput
 from repro.experiments.context import ExperimentContext
 
-__all__ = ["ScheduledExperiment", "run_experiments", "cache_key", "experiments_for_year"]
+__all__ = [
+    "ScheduledExperiment",
+    "run_experiments",
+    "cache_key",
+    "experiments_for_year",
+    "load_cached_value",
+    "store_cached_value",
+]
 
 #: Set in the parent immediately before the pool forks; workers read it.
 _POOL_CONTEXT: Optional[ExperimentContext] = None
@@ -93,6 +100,44 @@ def _store_cached(path: Path, output: ExperimentOutput) -> None:
     scratch = path.with_suffix(".tmp")
     with open(scratch, "wb") as handle:
         pickle.dump(output, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(scratch, path)
+
+
+def load_cached_value(
+    cache_dir: Union[str, Path, None], name: str, key: str
+):
+    """Fetch one content-addressed pickled value, or ``None`` on any miss.
+
+    The generic sibling of the experiment-output cache: callers that
+    derive *other* artifacts from a dataset digest (e.g. X3's per-year
+    headline metrics) share the same keying and on-disk layout.  The
+    stored record carries its full key, so the truncated key in the file
+    name can never serve a colliding entry.
+    """
+    if cache_dir is None:
+        return None
+    path = _cache_path(Path(cache_dir), name, key)
+    try:
+        with open(path, "rb") as handle:
+            record = pickle.load(handle)
+    except (OSError, pickle.PickleError, EOFError, AttributeError):
+        return None
+    if not isinstance(record, dict) or record.get("key") != key:
+        return None
+    return record.get("value")
+
+
+def store_cached_value(
+    cache_dir: Union[str, Path], name: str, key: str, value
+) -> None:
+    """Store one content-addressed pickled value (atomic replace)."""
+    cache_dir = Path(cache_dir)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    path = _cache_path(cache_dir, name, key)
+    scratch = path.with_suffix(".tmp")
+    with open(scratch, "wb") as handle:
+        pickle.dump({"key": key, "value": value}, handle,
+                    protocol=pickle.HIGHEST_PROTOCOL)
     os.replace(scratch, path)
 
 

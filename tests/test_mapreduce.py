@@ -1,0 +1,149 @@
+"""Shard-wise map-reduce analyses == single-process analyses, exactly.
+
+The orchestrator's lazy merge keeps per-shard memory-mapped views
+alongside the merged (virtual) table, and the hot analyses fan out over
+those views with mergeable partial aggregates.  These tests pin the
+contract that matters: at a fixed seed, every ported analysis produces
+*bit-identical* results whether it ran shard-wise over mmap'd spills or
+in one pass over an in-process simulation — including after a partial
+run is resumed.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.analysis.overlap import scanner_overlap
+from repro.analysis.ports import methodology_numbers, protocol_breakdown
+from repro.analysis.summary import vantage_summary
+from repro.analysis.timeseries import hourly_matrix
+from repro.runner import orchestrate
+from repro.runner.scheduler import cache_key, load_cached_value, store_cached_value
+
+from tests.conftest import SMALL
+
+
+@pytest.fixture(scope="module")
+def sharded_run(tmp_path_factory):
+    """One SMALL run split over three shards, merged lazily."""
+    out_dir = tmp_path_factory.mktemp("mapreduce-run")
+    return orchestrate(SMALL, workers=1, num_shards=3, out_dir=out_dir, quiet=True)
+
+
+@pytest.fixture(scope="module")
+def sharded_dataset(sharded_run):
+    dataset = sharded_run.context.dataset
+    assert dataset.shard_tables is not None and len(dataset.shard_tables) == 3
+    return dataset
+
+
+class TestShardWiseEqualsSingleProcess:
+    def test_vantage_summary(self, dataset, sharded_dataset):
+        assert vantage_summary(sharded_dataset) == vantage_summary(dataset)
+
+    def test_scanner_overlap(self, dataset, sharded_dataset):
+        assert scanner_overlap(sharded_dataset) == scanner_overlap(dataset)
+
+    def test_methodology_numbers(self, dataset, sharded_dataset):
+        assert methodology_numbers(sharded_dataset) == methodology_numbers(dataset)
+
+    def test_protocol_breakdown(self, dataset, sharded_dataset):
+        assert protocol_breakdown(sharded_dataset) == protocol_breakdown(dataset)
+
+    def test_hourly_matrix(self, dataset, sharded_dataset):
+        vantage_ids = sorted(dataset.tables)
+        np.testing.assert_array_equal(
+            hourly_matrix(sharded_dataset, vantage_ids),
+            hourly_matrix(dataset, vantage_ids),
+        )
+
+    def test_merged_columns_are_memory_mapped(self, sharded_dataset):
+        """The lazy merge serves shard parts as mmaps, not copies."""
+        table = next(
+            table for table in sharded_dataset.tables.values() if table.parts
+        )
+        _pos, part = table.parts[0]
+        assert isinstance(part.timestamps, np.memmap)
+
+
+class TestResumeWithLazyMerge:
+    def test_resumed_run_matches_uninterrupted_run(self, sharded_run, tmp_path):
+        """Losing a shard and resuming reproduces the analyses exactly."""
+        out_dir = tmp_path / "resumed"
+        first = orchestrate(SMALL, workers=1, num_shards=3, out_dir=out_dir, quiet=True)
+        assert first.dataset_digest == sharded_run.dataset_digest
+
+        shutil.rmtree(out_dir / "shard-0001")
+        resumed = orchestrate(
+            SMALL, workers=1, num_shards=3, out_dir=out_dir, resume=True, quiet=True
+        )
+        assert resumed.stats.skipped == 2 and resumed.stats.simulated == 1
+        assert resumed.dataset_digest == sharded_run.dataset_digest
+
+        uninterrupted = sharded_run.context.dataset
+        dataset = resumed.context.dataset
+        assert vantage_summary(dataset) == vantage_summary(uninterrupted)
+        assert scanner_overlap(dataset) == scanner_overlap(uninterrupted)
+        assert methodology_numbers(dataset) == methodology_numbers(uninterrupted)
+        assert protocol_breakdown(dataset) == protocol_breakdown(uninterrupted)
+
+
+class TestX3Orchestrated:
+    def test_orchestrated_years_match_serial_build_then_cache(
+        self, small_context, small_context_2020, small_context_2022,
+        tmp_path, monkeypatch,
+    ):
+        """X3's orchestrated 2020/2022 builds equal the serial builds,
+        and a repeat invocation is served from the on-disk metrics cache
+        without orchestrating at all."""
+        from repro.experiments import ext_temporal_stability as x3
+        from repro.experiments.context import _CACHE
+
+        expected = {
+            2020: x3._headline_metrics(small_context_2020.dataset),
+            2021: x3._headline_metrics(small_context.dataset),
+            2022: x3._headline_metrics(small_context_2022.dataset),
+        }
+        monkeypatch.setenv(x3.RUN_CACHE_ENV, str(tmp_path))
+        # Evict the serial 2020/2022 contexts so X3 must orchestrate
+        # (monkeypatch restores them afterwards).
+        monkeypatch.delitem(_CACHE, small_context_2020.config)
+        monkeypatch.delitem(_CACHE, small_context_2022.config)
+
+        output = x3.run(small_context)
+        assert output.data == expected
+        assert (x3._run_cache_dir(small_context_2020.config) / "run.json").exists()
+
+        # Second pass: no memo, orchestrate forbidden — only the disk
+        # cache can satisfy it.
+        monkeypatch.delitem(_CACHE, small_context_2020.config)
+        monkeypatch.delitem(_CACHE, small_context_2022.config)
+
+        def _forbidden(*args, **kwargs):
+            raise AssertionError("orchestrate called despite warm metrics cache")
+
+        monkeypatch.setattr("repro.runner.orchestrator.orchestrate", _forbidden)
+        assert x3.run(small_context).data == expected
+
+
+class TestValueCache:
+    def test_roundtrip(self, tmp_path):
+        key = cache_key("digest", "X3-metrics", {"year": 2020})
+        store_cached_value(tmp_path, "X3-metrics", key, {"ssh": 41.5})
+        assert load_cached_value(tmp_path, "X3-metrics", key) == {"ssh": 41.5}
+
+    def test_miss_on_unknown_key(self, tmp_path):
+        assert load_cached_value(tmp_path, "X3-metrics", cache_key("d", "e")) is None
+        assert load_cached_value(None, "X3-metrics", "anything") is None
+
+    def test_full_key_is_verified(self, tmp_path):
+        """A colliding truncated file name cannot serve the wrong value."""
+        key = cache_key("digest-a", "X3-metrics")
+        store_cached_value(tmp_path, "X3-metrics", key, 1)
+        stored = next(tmp_path.iterdir())
+        other = cache_key("digest-b", "X3-metrics")
+        stored.rename(tmp_path / f"X3-metrics-{other[:16]}.pkl")
+        assert load_cached_value(tmp_path, "X3-metrics", other) is None

@@ -126,12 +126,40 @@ def test_concat_mixes_append_paths():
 
 
 def test_concat_rejects_identity_mismatch():
-    ours = EventTable("hp-1", "aws", NetworkKind.CLOUD, "US-East")
+    ours = _table_of([
+        CapturedEvent("hp-1", "aws", NetworkKind.CLOUD, "US-East",
+                      1.0, 10, 100, 20, 22, Transport.TCP, True, b"", (), ()),
+    ])
     theirs = EventTable("hp-2", "aws", NetworkKind.CLOUD, "US-East")
+    theirs.append_event(
+        CapturedEvent("hp-2", "aws", NetworkKind.CLOUD, "US-East",
+                      2.0, 11, 100, 21, 22, Transport.TCP, True, b"", (), ()),
+    )
     with pytest.raises(ValueError, match="identity mismatch"):
         EventTable.concat([ours, theirs])
 
 
-def test_concat_requires_at_least_one_table():
-    with pytest.raises(ValueError, match="at least one"):
-        EventTable.concat([])
+def test_concat_of_no_tables_is_a_valid_empty_table():
+    """Regression: an empty parts list is legal (a vantage may be absent
+    from every completed shard of a partial run)."""
+    merged = EventTable.concat([])
+    assert len(merged) == 0
+    assert merged.materialize() == []
+    assert merged.timestamps.shape == (0,)
+    assert merged.payloads.shape == (0,)
+
+
+def test_concat_skips_zero_row_parts_without_identity_checks():
+    """Regression: zero-row parts (identity-less placeholders spilled by
+    shards that never saw the vantage) are skipped, not rejected."""
+    placeholder = EventTable("", "", NetworkKind.CLOUD, "")
+    other_empty = EventTable("hp-2", "aws", NetworkKind.CLOUD, "US-East")
+    real = _table_of([
+        CapturedEvent("hp-1", "aws", NetworkKind.CLOUD, "US-East",
+                      1.0, 10, 100, 20, 22, Transport.TCP, True,
+                      b"SSH-2.0", (), ()),
+    ])
+    merged = EventTable.concat([placeholder, other_empty, real, placeholder])
+    assert len(merged) == 1
+    assert merged.vantage_id == "hp-1"
+    np.testing.assert_array_equal(merged.dst_port, [22])
