@@ -24,6 +24,8 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Mapping
 
+import numpy as np
+
 from repro.analysis.dataset import AnalysisDataset
 from repro.scanners.payloads import strip_ephemeral_headers
 from repro.sim.events import CapturedEvent
@@ -85,6 +87,97 @@ def _signature(
     return (asn, port_protocols, payloads, credentials)
 
 
+def _per_source_slices(pairs: np.ndarray, n_sources: int) -> np.ndarray:
+    """Start offsets per source index into a src-sorted pair array
+    (length ``n_sources + 1``; ``pairs`` comes src-major from
+    ``np.unique(axis=0)``)."""
+    return np.searchsorted(pairs[:, 0], np.arange(n_sources + 1, dtype=np.int64))
+
+
+def _engine_campaigns(aggregates, min_size: int) -> list[InferredCampaign]:
+    """Columnar :func:`infer_campaigns`: per-source signature frozensets
+    come from the distinct-pair arrays instead of per-event scans."""
+    n = len(aggregates)
+    port_fp_at = _per_source_slices(aggregates.port_fp, n)
+    cred_at = _per_source_slices(aggregates.cred, n)
+    payload_at = _per_source_slices(aggregates.payloads, n)
+    fp_values = aggregates.fp_values
+    user_values = aggregates.user_values
+    pass_values = aggregates.pass_values
+    stripped_values = aggregates.stripped_values
+
+    port_protocols: list[frozenset] = []
+    payload_sets: list[frozenset] = []
+    credential_sets: list[frozenset] = []
+    for index in range(n):
+        rows = aggregates.port_fp[port_fp_at[index]:port_fp_at[index + 1]]
+        port_protocols.append(
+            frozenset((int(port), fp_values[fp] or "-") for _s, port, fp in rows.tolist())
+        )
+        rows = aggregates.payloads[payload_at[index]:payload_at[index + 1]]
+        payload_sets.append(frozenset(stripped_values[code] for _s, code in rows.tolist()))
+        rows = aggregates.cred[cred_at[index]:cred_at[index + 1]]
+        credential_sets.append(
+            frozenset((user_values[u], pass_values[p]) for _s, u, p in rows.tolist())
+        )
+
+    # Union-find degenerates to "first source with the signature anchors
+    # the cluster" because identical signatures are merged directly.
+    sources = aggregates.sources
+    first_with_signature: dict[tuple, int] = {}
+    members: dict[int, set[int]] = {}
+    member_indexes: dict[int, list[int]] = {}
+    for index in aggregates.first_order.tolist():
+        src_ip = int(sources[index])
+        signature = (
+            int(aggregates.first_asn[index]),
+            port_protocols[index],
+            payload_sets[index],
+            credential_sets[index],
+        )
+        anchor = first_with_signature.setdefault(signature, src_ip)
+        if anchor == src_ip:
+            members[anchor] = {src_ip}
+            member_indexes[anchor] = [index]
+        else:
+            members[anchor].add(src_ip)
+            member_indexes[anchor].append(index)
+
+    asn_at = _per_source_slices(aggregates.asn_pairs, n)
+    campaigns: list[InferredCampaign] = []
+    for campaign_id, (root, ips) in enumerate(
+        sorted(members.items(), key=lambda item: (-len(item[1]), item[0]))
+    ):
+        if len(ips) < min_size:
+            continue
+        indexes = member_indexes[root]
+        asns: set[int] = set()
+        ports: set[int] = set()
+        protocols: set[str] = set()
+        for index in indexes:
+            asns.update(
+                int(asn)
+                for asn in aggregates.asn_pairs[asn_at[index]:asn_at[index + 1], 1].tolist()
+            )
+            for _s, port, fp in aggregates.port_fp[port_fp_at[index]:port_fp_at[index + 1]].tolist():
+                ports.add(int(port))
+                protocol = fp_values[fp]
+                if protocol is not None:
+                    protocols.add(protocol)
+        campaigns.append(
+            InferredCampaign(
+                campaign_id=campaign_id,
+                source_ips=set(ips),
+                asns=asns,
+                ports=ports,
+                protocols=protocols,
+                event_count=int(aggregates.event_count[indexes].sum()),
+                malicious=bool(aggregates.malicious[indexes].any()),
+            )
+        )
+    return campaigns
+
+
 def infer_campaigns(
     dataset: AnalysisDataset, min_size: int = 1
 ) -> list[InferredCampaign]:
@@ -92,6 +185,9 @@ def infer_campaigns(
 
     Returns campaigns of at least ``min_size`` member IPs, largest first.
     """
+    aggregates = dataset.source_aggregates()
+    if aggregates is not None:
+        return _engine_campaigns(aggregates, min_size)
     events_by_source: dict[int, list[CapturedEvent]] = defaultdict(list)
     for event in dataset.events:
         events_by_source[event.src_ip].append(event)

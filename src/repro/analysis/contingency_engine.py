@@ -1,0 +1,1095 @@
+"""Columnar contingency engine: one-pass group-by aggregation.
+
+Every pairwise-comparison experiment in the paper (Tables 2, 4, 5, 7,
+10 and their 2020/2022 twins) reduces to the same primitive: count a
+categorical traffic characteristic (source AS, username, password,
+normalized payload) per vantage point within a protocol/port slice,
+then run the Section 3.3 top-3 chi-squared test over groups of those
+counts.  The legacy implementations each re-walked row-materialized
+``CapturedEvent`` lists to rebuild Python ``Counter``s — the dominant
+cost of the analysis suite.
+
+This module makes one pass over the :class:`~repro.io.table.EventTable`
+columns instead:
+
+* each characteristic is **integer-coded** (``np.unique`` for numeric
+  columns, dictionary interning for the object columns, exploiting the
+  chunked tables' scalar broadcast runs so a campaign batch with one
+  payload is coded once, not once per row);
+* per-(vantage × characteristic) **count matrices** are materialized
+  with ``np.bincount`` for every standard slice;
+* the matrices are **additively mergeable across shards**: the build
+  runs through the PR 6 ``map_shard``/``reduce`` protocol
+  (:func:`~repro.experiments.base.run_shard_wise`), so sharded datasets
+  (:class:`~repro.io.lazy.ShardedEventTable`) never materialize merged
+  columns, and a single-process dataset is just the one-shard case of
+  the same code path.
+
+The engine is cached on the :class:`~repro.analysis.dataset
+.AnalysisDataset` keyed by a cheap table digest (vantage ids × row
+counts), so T2/T3/T5/T7/X2/X4 and the temporal twins all draw from the
+same precomputed matrices.
+
+Bit-identity with the row-wise implementations is a hard requirement
+(tests/test_contingency_engine.py): top-k selection reproduces
+``repro.stats.topk.top_k``'s ``(-count, repr(category))`` ordering via
+precomputed repr-rank arrays, contingency tables are built with the
+same float64 values in the same row/column order and fed to the same
+``chi_square_test``, and medians run on the same float64 inputs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.detection.fingerprint import fingerprint
+from repro.experiments.base import ShardView, run_shard_wise
+from repro.scanners.payloads import strip_ephemeral_headers
+from repro.stats.contingency import ChiSquareResult, chi_square_test
+
+__all__ = [
+    "CHARACTERISTICS",
+    "ENGINE_SLICES",
+    "POPULAR_PORTS",
+    "ContingencyEngine",
+    "SourceAggregates",
+    "build_engine",
+    "build_source_aggregates",
+    "dataset_digest",
+]
+
+#: Characteristics the engine codes and counts (Table 2/5/7 rows).
+CHARACTERISTICS: tuple[str, ...] = ("as", "username", "password", "payload")
+
+#: The Table 10 "Any/All" popular-port pool.
+POPULAR_PORTS: tuple[int, ...] = (80, 8080, 22, 23, 443, 21, 25, 2222, 2323, 7547)
+
+#: Count-matrix slices.  The first five mirror ``repro.analysis.dataset
+#: .SLICES``; ``port80``/``popular`` are the port-only pools backing the
+#: telescope AS comparisons (Table 10 restricts by port, not by
+#: fingerprint).
+ENGINE_SLICES: tuple[str, ...] = (
+    "ssh22", "telnet23", "http80", "http_all", "any_all", "port80", "popular",
+)
+
+_POPULAR_ARRAY = np.array(POPULAR_PORTS, dtype=np.int64)
+
+#: Bits reserved for (port, attempted_login) in the packed triple key
+#: used to memoize maliciousness per distinct (payload, port, login).
+_PORT_BITS = 17
+
+
+def _grow_lookup(
+    source: list, buffer: Optional[np.ndarray], filled: int
+) -> tuple[np.ndarray, int]:
+    """Mirror a growing int list into a capacity-doubling int64 buffer.
+
+    The coder's per-payload derived tables grow while the build walks
+    the tables; copying only the unseen tail keeps the per-table lookup
+    amortized O(new) instead of O(total).
+    """
+    length = len(source)
+    if buffer is None or buffer.shape[0] < length:
+        grown = np.empty(max(1024, 2 * length), dtype=np.int64)
+        if filled:
+            grown[:filled] = buffer[:filled]
+        buffer = grown
+    if length > filled:
+        buffer[filled:length] = source[filled:]
+        filled = length
+    return buffer, filled
+
+
+class _ShardCoder:
+    """Interns one shard's object-column values as integer codes.
+
+    Payloads are coded once per *distinct* value; fingerprint, stripped
+    form, and Snort alerts are derived per code, never per event.  The
+    same coder serves the matrix build, the per-source aggregation, and
+    the leak histograms, so each shard pays for coding exactly once per
+    build.
+    """
+
+    def __init__(self, classifier) -> None:
+        self.classifier = classifier
+        self.payload_codes: dict[Any, int] = {}
+        self.payload_values: list[Any] = []
+        self.fp_codes: dict[Optional[str], int] = {}
+        self.fp_values: list[Optional[str]] = []
+        self.fp_of_payload: list[int] = []
+        self.stripped_codes: dict[bytes, int] = {}
+        self.stripped_values: list[bytes] = []
+        self.stripped_of_payload: list[int] = []  # -1 for empty payloads
+        self.user_codes: dict[str, int] = {}
+        self.user_values: list[str] = []
+        self.pass_codes: dict[str, int] = {}
+        self.pass_values: list[str] = []
+        self.as_codes: dict[int, int] = {}
+        self.as_values: list[int] = []
+        self._malicious_memo: dict[int, bool] = {}
+        self._family_memo: dict[int, tuple[str, ...]] = {}
+        self._fp_array: Optional[np.ndarray] = None
+        self._fp_filled = 0
+        self._stripped_array: Optional[np.ndarray] = None
+        self._stripped_filled = 0
+        # Per-table coded columns, keyed by table identity (the table is
+        # pinned in the value so ids cannot be recycled).  The matrix
+        # build and the source build walk the same tables; sharing one
+        # coder per dataset means the second build recodes nothing.
+        self._table_memo: dict[int, tuple] = {}
+
+    def coded(self, table) -> tuple:
+        """Memoized ``(payload_codes, (has_cred, pair_rows, pair_users,
+        pair_passwords))`` for one table."""
+        key = id(table)
+        hit = self._table_memo.get(key)
+        if hit is not None and hit[0] is table:
+            return hit[1]
+        value = (self.code_payloads(table), self.code_credentials(table))
+        self._table_memo[key] = (table, value)
+        return value
+
+    def fp_lookup(self) -> np.ndarray:
+        """``fp_of_payload`` as an array, amortized against list growth."""
+        self._fp_array, self._fp_filled = _grow_lookup(
+            self.fp_of_payload, self._fp_array, self._fp_filled
+        )
+        return self._fp_array[: len(self.fp_of_payload)]
+
+    def stripped_lookup(self) -> np.ndarray:
+        """``stripped_of_payload`` as an array, amortized against list growth."""
+        self._stripped_array, self._stripped_filled = _grow_lookup(
+            self.stripped_of_payload, self._stripped_array, self._stripped_filled
+        )
+        return self._stripped_array[: len(self.stripped_of_payload)]
+
+    # -- value interning ------------------------------------------------
+
+    def _fp_code(self, protocol: Optional[str]) -> int:
+        code = self.fp_codes.get(protocol)
+        if code is None:
+            code = len(self.fp_values)
+            self.fp_codes[protocol] = code
+            self.fp_values.append(protocol)
+        return code
+
+    def _stripped_code(self, stripped: bytes) -> int:
+        code = self.stripped_codes.get(stripped)
+        if code is None:
+            code = len(self.stripped_values)
+            self.stripped_codes[stripped] = code
+            self.stripped_values.append(stripped)
+        return code
+
+    def payload_code(self, payload) -> int:
+        code = self.payload_codes.get(payload)
+        if code is None:
+            code = len(self.payload_values)
+            self.payload_codes[payload] = code
+            self.payload_values.append(payload)
+            self.fp_of_payload.append(self._fp_code(fingerprint(payload)))
+            self.stripped_of_payload.append(
+                self._stripped_code(strip_ephemeral_headers(payload))
+                if payload else -1
+            )
+        return code
+
+    def user_code(self, username: str) -> int:
+        code = self.user_codes.get(username)
+        if code is None:
+            code = len(self.user_values)
+            self.user_codes[username] = code
+            self.user_values.append(username)
+        return code
+
+    def pass_code(self, password: str) -> int:
+        code = self.pass_codes.get(password)
+        if code is None:
+            code = len(self.pass_values)
+            self.pass_codes[password] = code
+            self.pass_values.append(password)
+        return code
+
+    # -- column coding --------------------------------------------------
+
+    def code_payloads(self, table) -> np.ndarray:
+        """Per-event payload codes, exploiting scalar broadcast runs."""
+        codes = np.empty(len(table), dtype=np.int64)
+        offset = 0
+        get = self.payload_codes.get
+        intern = self.payload_code
+        for value, start, stop in table.iter_column_runs("payload"):
+            count = stop - start
+            if isinstance(value, np.ndarray) and value.dtype == object:
+                # One bulk slice assignment instead of per-element numpy
+                # stores; the comprehension only falls back to interning
+                # for payloads never seen before.
+                codes[offset:offset + count] = [
+                    intern(payload) if (code := get(payload)) is None else code
+                    for payload in value[start:stop].tolist()
+                ]
+            else:
+                codes[offset:offset + count] = intern(value)
+            offset += count
+        return codes
+
+    def code_credentials(self, table) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Expand the credentials column into pair arrays.
+
+        Returns ``(has_cred, pair_rows, pair_users, pair_passwords)`` —
+        a per-event login flag plus one entry per (event, credential
+        pair), coded through the shard's user/password tables.
+        """
+        length = len(table)
+        has = np.zeros(length, dtype=bool)
+        rows_parts: list[np.ndarray] = []
+        user_parts: list[np.ndarray] = []
+        pass_parts: list[np.ndarray] = []
+        offset = 0
+        for value, start, stop in table.iter_column_runs("credentials"):
+            count = stop - start
+            if isinstance(value, np.ndarray) and value.dtype == object:
+                for index, creds in enumerate(value[start:stop].tolist()):
+                    if creds:
+                        row = offset + index
+                        has[row] = True
+                        for username, password in creds:
+                            rows_parts.append(row)  # type: ignore[arg-type]
+                            user_parts.append(self.user_code(username))  # type: ignore[arg-type]
+                            pass_parts.append(self.pass_code(password))  # type: ignore[arg-type]
+            elif value:
+                # One credential tuple broadcast across the whole run.
+                has[offset:offset + count] = True
+                run_rows = np.arange(offset, offset + count, dtype=np.int64)
+                for username, password in value:
+                    rows_parts.append(run_rows)
+                    user_parts.append(np.full(count, self.user_code(username), dtype=np.int64))
+                    pass_parts.append(np.full(count, self.pass_code(password), dtype=np.int64))
+            offset += count
+        if not rows_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return has, empty, empty.copy(), empty.copy()
+        return (
+            has,
+            _concat_int(rows_parts),
+            _concat_int(user_parts),
+            _concat_int(pass_parts),
+        )
+
+    def code_asns(self, table) -> np.ndarray:
+        """Per-event source-AS codes (vectorized per vantage)."""
+        uniq, inverse = np.unique(
+            np.asarray(table.src_asn, dtype=np.int64), return_inverse=True
+        )
+        remap = np.empty(len(uniq), dtype=np.int64)
+        get = self.as_codes.get
+        for index, value in enumerate(uniq.tolist()):
+            code = get(value)
+            if code is None:
+                code = len(self.as_values)
+                self.as_codes[value] = code
+                self.as_values.append(value)
+            remap[index] = code
+        return remap[inverse]
+
+    # -- derived per-event flags ----------------------------------------
+
+    def malicious_flags(
+        self, ports: np.ndarray, payload_codes: np.ndarray, has_cred: np.ndarray
+    ) -> np.ndarray:
+        """Section 3.2 maliciousness per event, classified once per
+        distinct (payload, port, attempted_login) triple."""
+        keys = (
+            (payload_codes << (_PORT_BITS + 1))
+            | (ports << 1)
+            | has_cred.astype(np.int64)
+        )
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        verdicts = np.empty(len(uniq), dtype=bool)
+        memo = self._malicious_memo
+        classify = self.classifier.is_malicious_parts
+        values = self.payload_values
+        for index, key in enumerate(uniq.tolist()):
+            verdict = memo.get(key)
+            if verdict is None:
+                payload = values[key >> (_PORT_BITS + 1)]
+                port = (key >> 1) & ((1 << _PORT_BITS) - 1)
+                verdict = bool(classify(payload, port, bool(key & 1)))
+                memo[key] = verdict
+            verdicts[index] = verdict
+        return verdicts[inverse]
+
+    def families_of(self, payload_code: int, port: int) -> tuple[str, ...]:
+        """Snort alert classtypes of one distinct (payload, port) pair."""
+        key = (payload_code << (_PORT_BITS + 1)) | (port << 1)
+        families = self._family_memo.get(key)
+        if families is None:
+            alerts = self.classifier.rule_engine.alerts(
+                self.payload_values[payload_code], port
+            )
+            families = tuple(alert.classtype for alert in alerts)
+            self._family_memo[key] = families
+        return families
+
+
+def _concat_int(parts: list) -> np.ndarray:
+    if parts and not isinstance(parts[0], np.ndarray):
+        return np.array(parts, dtype=np.int64)
+    return np.concatenate(parts) if len(parts) > 1 else np.asarray(parts[0], dtype=np.int64)
+
+
+def _slice_masks(
+    ports: np.ndarray, event_fp: np.ndarray, http_code: int
+) -> dict[str, Optional[np.ndarray]]:
+    """Boolean event masks per engine slice (``None`` = all events)."""
+    http = event_fp == http_code
+    port80 = ports == 80
+    return {
+        "ssh22": ports == 22,
+        "telnet23": ports == 23,
+        "http80": port80 & http,
+        "http_all": http,
+        "any_all": None,
+        "port80": port80,
+        "popular": np.isin(ports, _POPULAR_ARRAY),
+    }
+
+
+def _sorted_view_tables(view: ShardView) -> list[tuple[int, Any]]:
+    """(vantage position, table) pairs in merged-dataset vantage order."""
+    items = [
+        (view.order[vantage_id], table)
+        for vantage_id, table in view.tables.items()
+        if len(table)
+    ]
+    items.sort(key=lambda item: item[0])
+    return items
+
+
+def dataset_digest(tables: Mapping[str, Any]) -> tuple:
+    """Cheap identity of a table mapping: vantage ids × row counts."""
+    return tuple((vantage_id, len(table)) for vantage_id, table in tables.items())
+
+
+# ----------------------------------------------------------------------
+# count matrices
+# ----------------------------------------------------------------------
+
+@dataclass
+class _MatrixPartial:
+    """One shard's mergeable contribution to the count matrices."""
+
+    values: dict[str, list]
+    counts: dict[tuple[str, str], np.ndarray]
+    events: dict[str, np.ndarray]
+    malicious: dict[str, np.ndarray]
+    cred_events: np.ndarray
+
+
+def dataset_coder(dataset) -> "_ShardCoder":
+    """One shared interning coder per table-backed dataset.
+
+    Cached keyed by the dataset digest so the matrix build, the source
+    build, and the leak histograms all reuse the same payload/credential
+    code tables (and their per-table coded columns) instead of
+    re-interning every distinct value per build.  Fork-pool shard maps
+    inherit the coder copy-on-write; their partials carry value lists
+    that may be supersets of what one shard saw, which the reduces
+    already handle by remapping codes through values.
+    """
+    digest = dataset_digest(dataset.tables)
+    coder = getattr(dataset, "_shard_coder", None)
+    if coder is None or getattr(dataset, "_shard_coder_digest", None) != digest:
+        coder = _ShardCoder(dataset.classifier)
+        dataset._shard_coder = coder
+        dataset._shard_coder_digest = digest
+    return coder
+
+
+def _matrix_map(view: ShardView, coder: "_ShardCoder") -> _MatrixPartial:
+    n_vantages = len(view.order)
+    events = {key: np.zeros(n_vantages, dtype=np.int64) for key in ENGINE_SLICES}
+    malicious = {key: np.zeros(n_vantages, dtype=np.int64) for key in ENGINE_SLICES}
+    cred_events = np.zeros(n_vantages, dtype=np.int64)
+    # Per-vantage bincounts are parked with their then-current column
+    # width and padded to the shard's final width afterwards (the code
+    # tables only grow, so bincounts are prefixes of the final layout).
+    pending: dict[tuple[str, str], list[tuple[int, np.ndarray]]] = defaultdict(list)
+
+    for row, table in _sorted_view_tables(view):
+        ports = np.asarray(table.dst_port, dtype=np.int64)
+        payload_codes, creds = coder.coded(table)
+        has_cred, pair_rows, pair_users, pair_passwords = creds
+        as_codes = coder.code_asns(table)
+        event_fp = coder.fp_lookup()[payload_codes]
+        stripped = coder.stripped_lookup()[payload_codes]
+        mal = coder.malicious_flags(ports, payload_codes, has_cred)
+        cred_events[row] = int(has_cred.sum())
+        nonempty_payload = stripped >= 0
+        http_code = coder.fp_codes.get("http", -1)
+
+        for slice_key, mask in _slice_masks(ports, event_fp, http_code).items():
+            if mask is None:
+                events[slice_key][row] = len(table)
+                malicious[slice_key][row] = int(mal.sum())
+                slice_as = as_codes
+                slice_payload = stripped[nonempty_payload]
+                pair_sel = slice(None)
+            else:
+                events[slice_key][row] = int(mask.sum())
+                malicious[slice_key][row] = int((mal & mask).sum())
+                slice_as = as_codes[mask]
+                slice_payload = stripped[mask & nonempty_payload]
+                pair_sel = mask[pair_rows] if pair_rows.size else slice(None)
+            if slice_as.size:
+                pending[(slice_key, "as")].append((row, np.bincount(slice_as)))
+            if slice_payload.size:
+                pending[(slice_key, "payload")].append((row, np.bincount(slice_payload)))
+            if pair_rows.size:
+                users = pair_users[pair_sel]
+                if users.size:
+                    pending[(slice_key, "username")].append((row, np.bincount(users)))
+                    pending[(slice_key, "password")].append(
+                        (row, np.bincount(pair_passwords[pair_sel]))
+                    )
+
+    values = {
+        "as": list(coder.as_values),
+        "username": list(coder.user_values),
+        "password": list(coder.pass_values),
+        "payload": list(coder.stripped_values),
+    }
+    counts: dict[tuple[str, str], np.ndarray] = {}
+    for slice_key in ENGINE_SLICES:
+        for characteristic in CHARACTERISTICS:
+            matrix = np.zeros(
+                (n_vantages, len(values[characteristic])), dtype=np.int64
+            )
+            for row, bincount in pending.get((slice_key, characteristic), ()):
+                matrix[row, : len(bincount)] += bincount
+            counts[(slice_key, characteristic)] = matrix
+    return _MatrixPartial(
+        values=values,
+        counts=counts,
+        events=events,
+        malicious=malicious,
+        cred_events=cred_events,
+    )
+
+
+def _merge_values(partials: Sequence[_MatrixPartial]) -> dict[str, list]:
+    merged: dict[str, list] = {}
+    for characteristic in CHARACTERISTICS:
+        union: set = set()
+        for partial in partials:
+            union.update(partial.values[characteristic])
+        merged[characteristic] = sorted(union)
+    return merged
+
+
+def _matrix_reduce(
+    partials: Sequence[_MatrixPartial], vantage_ids: Sequence[str]
+) -> "ContingencyEngine":
+    n_vantages = len(vantage_ids)
+    values = _merge_values(partials)
+    indexes = {
+        characteristic: {value: col for col, value in enumerate(values[characteristic])}
+        for characteristic in CHARACTERISTICS
+    }
+    counts = {
+        (slice_key, characteristic): np.zeros(
+            (n_vantages, len(values[characteristic])), dtype=np.int64
+        )
+        for slice_key in ENGINE_SLICES
+        for characteristic in CHARACTERISTICS
+    }
+    events = {key: np.zeros(n_vantages, dtype=np.int64) for key in ENGINE_SLICES}
+    malicious = {key: np.zeros(n_vantages, dtype=np.int64) for key in ENGINE_SLICES}
+    cred_events = np.zeros(n_vantages, dtype=np.int64)
+    for partial in partials:
+        remap = {
+            characteristic: np.array(
+                [indexes[characteristic][value] for value in partial.values[characteristic]],
+                dtype=np.int64,
+            )
+            for characteristic in CHARACTERISTICS
+        }
+        for (slice_key, characteristic), matrix in partial.counts.items():
+            if matrix.shape[1]:
+                counts[(slice_key, characteristic)][:, remap[characteristic]] += matrix
+        for slice_key in ENGINE_SLICES:
+            events[slice_key] += partial.events[slice_key]
+            malicious[slice_key] += partial.malicious[slice_key]
+        cred_events += partial.cred_events
+    return ContingencyEngine(
+        vantage_ids=tuple(vantage_ids),
+        values=values,
+        counts=counts,
+        events=events,
+        malicious=malicious,
+        cred_events=cred_events,
+    )
+
+
+class ContingencyEngine:
+    """Precomputed per-(vantage × characteristic) count matrices.
+
+    Rows are vantage points (dataset order), columns are the
+    canonically-sorted category values of one characteristic; one matrix
+    exists per (slice, characteristic).  All query helpers reproduce the
+    row-wise Counter pipeline bit-for-bit.
+    """
+
+    def __init__(
+        self,
+        vantage_ids: Sequence[str],
+        values: dict[str, list],
+        counts: dict[tuple[str, str], np.ndarray],
+        events: dict[str, np.ndarray],
+        malicious: dict[str, np.ndarray],
+        cred_events: np.ndarray,
+    ) -> None:
+        self.vantage_ids = tuple(vantage_ids)
+        self.vantage_row = {vid: row for row, vid in enumerate(self.vantage_ids)}
+        self.values = values
+        self.counts = counts
+        self.events = events
+        self.malicious = malicious
+        self.cred_events = cred_events
+        self.digest: Optional[tuple] = None
+        # repr-rank per characteristic: rank[i] is the position of value
+        # i when the category values are sorted by repr() — the exact
+        # tie-break repro.stats.topk.top_k and union ordering use.
+        self.repr_rank: dict[str, np.ndarray] = {}
+        for characteristic, vals in values.items():
+            order = sorted(range(len(vals)), key=lambda i: repr(vals[i]))
+            rank = np.empty(len(vals), dtype=np.int64)
+            rank[order] = np.arange(len(vals), dtype=np.int64)
+            self.repr_rank[characteristic] = rank
+
+    # -- row selection ---------------------------------------------------
+
+    def row(self, vantage_id: str) -> Optional[int]:
+        return self.vantage_row.get(vantage_id)
+
+    def active_rows(self, slice_key: str, vantage_ids: Iterable[str]) -> list[int]:
+        """Rows of the given vantages that saw traffic in the slice —
+        the columnar analogue of "slice the events, drop empties"."""
+        slice_events = self.events[slice_key]
+        rows = []
+        for vantage_id in vantage_ids:
+            row = self.vantage_row.get(vantage_id)
+            if row is not None and slice_events[row] > 0:
+                rows.append(row)
+        return rows
+
+    # -- aggregation -----------------------------------------------------
+
+    def sum_vector(self, slice_key: str, characteristic: str, rows: Sequence[int]) -> np.ndarray:
+        matrix = self.counts[(slice_key, characteristic)]
+        if not rows:
+            return np.zeros(matrix.shape[1], dtype=np.int64)
+        return matrix[np.asarray(rows, dtype=np.int64)].sum(axis=0)
+
+    def median_vector(self, slice_key: str, characteristic: str, rows: Sequence[int]) -> np.ndarray:
+        """Section 4.4 per-category median across honeypots (float64,
+        same inputs as ``median_counter`` fed with per-honeypot floats)."""
+        matrix = self.counts[(slice_key, characteristic)]
+        if not rows:
+            return np.zeros(matrix.shape[1], dtype=np.float64)
+        block = matrix[np.asarray(rows, dtype=np.int64)].astype(np.float64)
+        return np.median(block, axis=0)
+
+    def fraction(self, slice_key: str, rows: Sequence[int]) -> tuple[int, int]:
+        if not rows:
+            return (0, 0)
+        index = np.asarray(rows, dtype=np.int64)
+        return (
+            int(self.malicious[slice_key][index].sum()),
+            int(self.events[slice_key][index].sum()),
+        )
+
+    def counter(self, slice_key: str, characteristic: str, rows: Sequence[int]) -> Counter:
+        """A plain-Python Counter view of a summed vector (category
+        values are the original Python objects)."""
+        vector = self.sum_vector(slice_key, characteristic, rows)
+        values = self.values[characteristic]
+        nonzero = np.flatnonzero(vector)
+        return Counter(
+            {values[col]: int(vector[col]) for col in nonzero.tolist()}
+        )
+
+    # -- the Section 3.3 comparison --------------------------------------
+
+    def top_k_codes(self, vector: np.ndarray, characteristic: str, k: int = 3) -> np.ndarray:
+        """Column codes of the k most common categories, ties broken by
+        repr — identical selection to ``repro.stats.topk.top_k``."""
+        positive = np.flatnonzero(vector > 0)
+        if positive.size == 0:
+            return positive
+        rank = self.repr_rank[characteristic]
+        order = np.lexsort((rank[positive], -vector[positive]))
+        return positive[order[:k]]
+
+    def compare_top_k(
+        self,
+        group_vectors: Mapping[Hashable, np.ndarray],
+        characteristic: str,
+        k: int = 3,
+    ) -> ChiSquareResult:
+        """``repro.stats.comparisons.compare_top_k`` on coded vectors:
+        same group order (repr-sorted), same column order (union of
+        per-group top-k, repr-sorted), same float64 table, same test."""
+        groups = sorted(group_vectors, key=repr)
+        union: set[int] = set()
+        for group in groups:
+            union.update(self.top_k_codes(group_vectors[group], characteristic, k).tolist())
+        rank = self.repr_rank[characteristic]
+        columns = np.array(sorted(union, key=lambda code: rank[code]), dtype=np.int64)
+        table = np.zeros((len(groups), len(columns)), dtype=np.float64)
+        for row, group in enumerate(groups):
+            table[row] = group_vectors[group][columns]
+        return chi_square_test(table)
+
+
+def build_engine(dataset) -> ContingencyEngine:
+    """Build the engine for a table-backed dataset, shard-wise."""
+    if dataset.tables is None:
+        raise ValueError("the contingency engine requires a table-backed dataset")
+    coder = dataset_coder(dataset)
+    vantage_ids = list(dataset.tables)
+    engine = run_shard_wise(
+        lambda view: _matrix_map(view, coder),
+        lambda partials: _matrix_reduce(partials, vantage_ids),
+        dataset,
+    )
+    engine.digest = dataset_digest(dataset.tables)
+    return engine
+
+
+# ----------------------------------------------------------------------
+# per-source aggregates (tags / campaigns)
+# ----------------------------------------------------------------------
+
+@dataclass
+class _SourcePartial:
+    """One shard's mergeable per-source behavior aggregate."""
+
+    sources: np.ndarray      # distinct source IPs, ascending
+    first_pos: np.ndarray    # [n, 3] (vantage position, shard, row) of first sighting
+    first_asn: np.ndarray    # [n] source AS at first sighting
+    event_count: np.ndarray  # [n]
+    malicious: np.ndarray    # [n] bool
+    port_fp: np.ndarray      # [m, 3] distinct (src, port, fp code)
+    fp_values: list
+    cred: np.ndarray         # [m, 3] distinct (src, user code, password code)
+    user_values: list
+    pass_values: list
+    payloads: np.ndarray     # [m, 2] distinct (src, stripped-payload code)
+    stripped_values: list
+    families: np.ndarray     # [m, 2] distinct (src, alert classtype code)
+    family_values: list
+    asn_pairs: np.ndarray    # [m, 2] distinct (src, asn)
+
+
+def _unique_rows(*columns: np.ndarray) -> np.ndarray:
+    """Distinct rows of stacked int64 columns (lexicographically sorted).
+
+    When every column is non-negative and the combined bit widths fit an
+    int64, the rows are packed into scalar keys so the dedup is one 1-D
+    ``np.unique`` — several times faster than the row-wise (void-view)
+    sort of ``np.unique(axis=0)``, with the identical lexicographic
+    result.  Oversized or negative values fall back to the row-wise path.
+    """
+    arrays = [np.ascontiguousarray(column, dtype=np.int64) for column in columns]
+    if arrays[0].shape[0] == 0:
+        return np.stack(arrays, axis=1)
+    bits: list[int] = []
+    packable = True
+    for array in arrays:
+        if int(array.min()) < 0:
+            packable = False
+            break
+        bits.append(max(1, int(array.max()).bit_length()))
+    if packable and sum(bits) <= 63:
+        keys = arrays[0].copy()
+        for array, width in zip(arrays[1:], bits[1:]):
+            keys <<= width
+            keys |= array
+        keys = np.unique(keys)
+        out = np.empty((keys.shape[0], len(arrays)), dtype=np.int64)
+        for index in range(len(arrays) - 1, 0, -1):
+            width = bits[index]
+            out[:, index] = keys & ((1 << width) - 1)
+            keys >>= width
+        out[:, 0] = keys
+        return out
+    return np.unique(np.stack(arrays, axis=1), axis=0)
+
+
+def _source_map(view: ShardView, coder: "_ShardCoder") -> _SourcePartial:
+    src_parts: list[np.ndarray] = []
+    vpos_parts: list[np.ndarray] = []
+    row_parts: list[np.ndarray] = []
+    asn_parts: list[np.ndarray] = []
+    port_parts: list[np.ndarray] = []
+    fp_parts: list[np.ndarray] = []
+    pcode_parts: list[np.ndarray] = []
+    stripped_parts: list[np.ndarray] = []
+    mal_parts: list[np.ndarray] = []
+    cred_src_parts: list[np.ndarray] = []
+    cred_user_parts: list[np.ndarray] = []
+    cred_pass_parts: list[np.ndarray] = []
+
+    for vpos, table in _sorted_view_tables(view):
+        length = len(table)
+        ports = np.asarray(table.dst_port, dtype=np.int64)
+        src = np.asarray(table.src_ip, dtype=np.int64)
+        payload_codes, creds = coder.coded(table)
+        has_cred, pair_rows, pair_users, pair_passwords = creds
+        src_parts.append(src)
+        vpos_parts.append(np.full(length, vpos, dtype=np.int64))
+        row_parts.append(np.arange(length, dtype=np.int64))
+        asn_parts.append(np.asarray(table.src_asn, dtype=np.int64))
+        port_parts.append(ports)
+        fp_parts.append(coder.fp_lookup()[payload_codes])
+        pcode_parts.append(payload_codes)
+        stripped_parts.append(coder.stripped_lookup()[payload_codes])
+        mal_parts.append(coder.malicious_flags(ports, payload_codes, has_cred))
+        if pair_rows.size:
+            cred_src_parts.append(src[pair_rows])
+            cred_user_parts.append(pair_users)
+            cred_pass_parts.append(pair_passwords)
+
+    if not src_parts:
+        empty = np.empty(0, dtype=np.int64)
+        empty_pairs = np.empty((0, 2), dtype=np.int64)
+        return _SourcePartial(
+            sources=empty, first_pos=np.empty((0, 3), dtype=np.int64),
+            first_asn=empty.copy(), event_count=empty.copy(),
+            malicious=np.empty(0, dtype=bool),
+            port_fp=np.empty((0, 3), dtype=np.int64), fp_values=[],
+            cred=np.empty((0, 3), dtype=np.int64), user_values=[], pass_values=[],
+            payloads=empty_pairs, stripped_values=[],
+            families=empty_pairs.copy(), family_values=[],
+            asn_pairs=empty_pairs.copy(),
+        )
+
+    src_all = np.concatenate(src_parts)
+    vpos_all = np.concatenate(vpos_parts)
+    row_all = np.concatenate(row_parts)
+    asn_all = np.concatenate(asn_parts)
+    port_all = np.concatenate(port_parts)
+    fp_all = np.concatenate(fp_parts)
+    pcode_all = np.concatenate(pcode_parts)
+    stripped_all = np.concatenate(stripped_parts)
+    mal_all = np.concatenate(mal_parts)
+
+    # The concatenation above is in (vantage position, row) order, so
+    # np.unique's first-occurrence index IS the shard-local first
+    # sighting of each source.
+    sources, first_index, event_count = np.unique(
+        src_all, return_index=True, return_counts=True
+    )
+    first_pos = np.stack(
+        [
+            vpos_all[first_index],
+            np.full(len(sources), view.index, dtype=np.int64),
+            row_all[first_index],
+        ],
+        axis=1,
+    )
+    malicious = np.isin(sources, np.unique(src_all[mal_all]), assume_unique=True)
+
+    port_fp = _unique_rows(src_all, port_all, fp_all)
+    asn_pairs = _unique_rows(src_all, asn_all)
+    truthy = stripped_all >= 0
+    payloads = _unique_rows(src_all[truthy], stripped_all[truthy])
+    if cred_src_parts:
+        cred = _unique_rows(
+            np.concatenate(cred_src_parts),
+            np.concatenate(cred_user_parts),
+            np.concatenate(cred_pass_parts),
+        )
+    else:
+        cred = np.empty((0, 3), dtype=np.int64)
+
+    # Alert families per distinct (payload, port), expanded to distinct
+    # (src, family) pairs.
+    family_codes: dict[str, int] = {}
+    family_values: list[str] = []
+    fam_src_parts: list[np.ndarray] = []
+    fam_code_parts: list[np.ndarray] = []
+    triples = _unique_rows(src_all[truthy], pcode_all[truthy], port_all[truthy])
+    if triples.shape[0]:
+        for src_ip, payload_code, port in triples.tolist():
+            for family in coder.families_of(payload_code, port):
+                code = family_codes.get(family)
+                if code is None:
+                    code = len(family_values)
+                    family_codes[family] = code
+                    family_values.append(family)
+                fam_src_parts.append(src_ip)  # type: ignore[arg-type]
+                fam_code_parts.append(code)  # type: ignore[arg-type]
+    if fam_src_parts:
+        families = _unique_rows(
+            np.array(fam_src_parts, dtype=np.int64),
+            np.array(fam_code_parts, dtype=np.int64),
+        )
+    else:
+        families = np.empty((0, 2), dtype=np.int64)
+
+    return _SourcePartial(
+        sources=sources,
+        first_pos=first_pos,
+        first_asn=asn_all[first_index],
+        event_count=event_count,
+        malicious=malicious,
+        port_fp=port_fp,
+        fp_values=list(coder.fp_values),
+        cred=cred,
+        user_values=list(coder.user_values),
+        pass_values=list(coder.pass_values),
+        payloads=payloads,
+        stripped_values=list(coder.stripped_values),
+        families=families,
+        family_values=list(family_values),
+        asn_pairs=asn_pairs,
+    )
+
+
+def _merge_value_lists(lists: Sequence[list], none_first: bool = False) -> tuple[list, list[np.ndarray]]:
+    """Merge per-shard value tables; return (merged, per-shard remaps)."""
+    union: set = set()
+    for values in lists:
+        union.update(values)
+    if none_first:
+        merged = sorted(union, key=lambda v: (v is not None, "" if v is None else v))
+    else:
+        merged = sorted(union)
+    index = {value: code for code, value in enumerate(merged)}
+    remaps = [
+        np.array([index[value] for value in values], dtype=np.int64)
+        for values in lists
+    ]
+    return merged, remaps
+
+
+def _remapped_pairs(
+    partial_arrays: Sequence[np.ndarray],
+    remaps: Optional[Sequence[np.ndarray]],
+    code_columns: Sequence[int],
+) -> np.ndarray:
+    """Concatenate per-shard distinct-row arrays, remapping the coded
+    columns into merged value tables, and re-deduplicate."""
+    remapped: list[np.ndarray] = []
+    for index, rows in enumerate(partial_arrays):
+        if rows.shape[0] == 0:
+            continue
+        rows = rows.copy()
+        if remaps is not None:
+            for column in code_columns:
+                rows[:, column] = remaps[index][rows[:, column]]
+        remapped.append(rows)
+    if not remapped:
+        width = partial_arrays[0].shape[1] if partial_arrays else 2
+        return np.empty((0, width), dtype=np.int64)
+    stacked = np.concatenate(remapped)
+    return np.unique(stacked, axis=0)
+
+
+class SourceAggregates:
+    """Per-source behavioral aggregates over the whole dataset.
+
+    ``sources`` is ascending; every pair/triple array references sources
+    by *index* into it (column 0) and values by code into the
+    corresponding value table.  ``first_order`` lists source indices in
+    global first-occurrence order — the dict-insertion order the
+    row-wise tag/campaign implementations produce.
+    """
+
+    def __init__(
+        self,
+        sources: np.ndarray,
+        first_pos: np.ndarray,
+        first_asn: np.ndarray,
+        event_count: np.ndarray,
+        malicious: np.ndarray,
+        port_fp: np.ndarray,
+        fp_values: list,
+        cred: np.ndarray,
+        user_values: list,
+        pass_values: list,
+        payloads: np.ndarray,
+        stripped_values: list,
+        families: np.ndarray,
+        family_values: list,
+        asn_pairs: np.ndarray,
+    ) -> None:
+        self.sources = sources
+        self.first_asn = first_asn
+        self.event_count = event_count
+        self.malicious = malicious
+        self.port_fp = port_fp
+        self.fp_values = fp_values
+        self.cred = cred
+        self.user_values = user_values
+        self.pass_values = pass_values
+        self.payloads = payloads
+        self.stripped_values = stripped_values
+        self.families = families
+        self.family_values = family_values
+        self.asn_pairs = asn_pairs
+        self.first_order = np.lexsort(
+            (first_pos[:, 2], first_pos[:, 1], first_pos[:, 0])
+        )
+        self.digest: Optional[tuple] = None
+        # Distinct (src, port) and (src, fingerprint) projections of the
+        # port/fingerprint triples.
+        self.port_pairs = (
+            _unique_rows(port_fp[:, 0], port_fp[:, 1])
+            if port_fp.shape[0] else np.empty((0, 2), dtype=np.int64)
+        )
+        self.fp_pairs = (
+            _unique_rows(port_fp[:, 0], port_fp[:, 2])
+            if port_fp.shape[0] else np.empty((0, 2), dtype=np.int64)
+        )
+        self.pass_pairs = (
+            _unique_rows(cred[:, 0], cred[:, 2])
+            if cred.shape[0] else np.empty((0, 2), dtype=np.int64)
+        )
+
+    def __len__(self) -> int:
+        return len(self.sources)
+
+    def flag_for_sources(self, source_indices: np.ndarray) -> np.ndarray:
+        flags = np.zeros(len(self.sources), dtype=bool)
+        flags[source_indices] = True
+        return flags
+
+
+def _source_reduce(partials: Sequence[_SourcePartial]) -> SourceAggregates:
+    fp_values, fp_remaps = _merge_value_lists(
+        [partial.fp_values for partial in partials], none_first=True
+    )
+    user_values, user_remaps = _merge_value_lists(
+        [partial.user_values for partial in partials]
+    )
+    pass_values, pass_remaps = _merge_value_lists(
+        [partial.pass_values for partial in partials]
+    )
+    stripped_values, stripped_remaps = _merge_value_lists(
+        [partial.stripped_values for partial in partials]
+    )
+    family_values, family_remaps = _merge_value_lists(
+        [partial.family_values for partial in partials]
+    )
+
+    sources = np.unique(np.concatenate([partial.sources for partial in partials]))
+    n = len(sources)
+    event_count = np.zeros(n, dtype=np.int64)
+    malicious = np.zeros(n, dtype=bool)
+    for partial in partials:
+        if partial.sources.size:
+            index = np.searchsorted(sources, partial.sources)
+            np.add.at(event_count, index, partial.event_count)
+            malicious[index] |= partial.malicious
+
+    # First sighting: minimum (vantage position, shard, row) per source.
+    firsts = np.concatenate(
+        [
+            np.concatenate(
+                [
+                    partial.sources[:, None],
+                    partial.first_pos,
+                    partial.first_asn[:, None],
+                ],
+                axis=1,
+            )
+            for partial in partials
+            if partial.sources.size
+        ]
+    )
+    order = np.lexsort((firsts[:, 3], firsts[:, 2], firsts[:, 1], firsts[:, 0]))
+    firsts = firsts[order]
+    _uniq, first_index = np.unique(firsts[:, 0], return_index=True)
+    first_rows = firsts[first_index]
+    first_pos = first_rows[:, 1:4]
+    first_asn = first_rows[:, 4]
+
+    def _src_to_index(rows: np.ndarray) -> np.ndarray:
+        if rows.shape[0]:
+            rows = rows.copy()
+            rows[:, 0] = np.searchsorted(sources, rows[:, 0])
+        return rows
+
+    port_fp = _src_to_index(
+        _remapped_pairs([p.port_fp for p in partials], fp_remaps, (2,))
+    )
+    cred = _src_to_index(
+        _remapped_pairs_multi(
+            [p.cred for p in partials], {1: user_remaps, 2: pass_remaps}
+        )
+    )
+    payloads = _src_to_index(
+        _remapped_pairs([p.payloads for p in partials], stripped_remaps, (1,))
+    )
+    families = _src_to_index(
+        _remapped_pairs([p.families for p in partials], family_remaps, (1,))
+    )
+    asn_pairs = _src_to_index(
+        _remapped_pairs([p.asn_pairs for p in partials], None, ())
+    )
+    return SourceAggregates(
+        sources=sources,
+        first_pos=first_pos,
+        first_asn=first_asn,
+        event_count=event_count,
+        malicious=malicious,
+        port_fp=port_fp,
+        fp_values=fp_values,
+        cred=cred,
+        user_values=user_values,
+        pass_values=pass_values,
+        payloads=payloads,
+        stripped_values=stripped_values,
+        families=families,
+        family_values=family_values,
+        asn_pairs=asn_pairs,
+    )
+
+
+def _remapped_pairs_multi(
+    partial_arrays: Sequence[np.ndarray],
+    column_remaps: Mapping[int, Sequence[np.ndarray]],
+) -> np.ndarray:
+    remapped: list[np.ndarray] = []
+    for index, rows in enumerate(partial_arrays):
+        if rows.shape[0] == 0:
+            continue
+        rows = rows.copy()
+        for column, remaps in column_remaps.items():
+            rows[:, column] = remaps[index][rows[:, column]]
+        remapped.append(rows)
+    if not remapped:
+        width = partial_arrays[0].shape[1] if partial_arrays else 3
+        return np.empty((0, width), dtype=np.int64)
+    return np.unique(np.concatenate(remapped), axis=0)
+
+
+def build_source_aggregates(dataset) -> SourceAggregates:
+    """Build per-source aggregates for a table-backed dataset, shard-wise."""
+    if dataset.tables is None:
+        raise ValueError("source aggregates require a table-backed dataset")
+    coder = dataset_coder(dataset)
+    aggregates = run_shard_wise(
+        lambda view: _source_map(view, coder),
+        _source_reduce,
+        dataset,
+    )
+    aggregates.digest = dataset_digest(dataset.tables)
+    return aggregates

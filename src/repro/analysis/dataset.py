@@ -114,6 +114,10 @@ class AnalysisDataset:
         self._fingerprint_cache: dict[bytes, Optional[str]] = {}
         self._malicious_cache: dict[tuple[bytes, int, bool], bool] = {}
         self._oracle: Optional[ReputationOracle] = None
+        self._contingency = None
+        self._source_aggregates = None
+        self._shard_coder = None
+        self._shard_coder_digest = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -159,6 +163,10 @@ class AnalysisDataset:
         self.shard_tables = None
         self._by_vantage_cache = None
         self._oracle = None
+        self._contingency = None
+        self._source_aggregates = None
+        self._shard_coder = None
+        self._shard_coder_digest = None
 
     def _by_vantage(self) -> dict[str, list[CapturedEvent]]:
         if self._by_vantage_cache is None:
@@ -167,6 +175,42 @@ class AnalysisDataset:
                 grouped[event.vantage_id].append(event)
             self._by_vantage_cache = grouped
         return self._by_vantage_cache
+
+    # ------------------------------------------------------------------
+    # columnar contingency engine
+    # ------------------------------------------------------------------
+
+    def contingency(self):
+        """The shared columnar contingency engine (table-backed only).
+
+        Built shard-wise on first use and cached keyed by a cheap table
+        digest, so every §3.3 comparison experiment draws from the same
+        precomputed count matrices.  Returns ``None`` for row-backed
+        datasets — callers fall back to the row-wise path.
+        """
+        if self.tables is None:
+            return None
+        from repro.analysis.contingency_engine import build_engine, dataset_digest
+
+        digest = dataset_digest(self.tables)
+        if self._contingency is None or self._contingency.digest != digest:
+            self._contingency = build_engine(self)
+        return self._contingency
+
+    def source_aggregates(self):
+        """Per-source behavioral aggregates (table-backed only), built
+        shard-wise and cached like :meth:`contingency`."""
+        if self.tables is None:
+            return None
+        from repro.analysis.contingency_engine import (
+            build_source_aggregates,
+            dataset_digest,
+        )
+
+        digest = dataset_digest(self.tables)
+        if self._source_aggregates is None or self._source_aggregates.digest != digest:
+            self._source_aggregates = build_source_aggregates(self)
+        return self._source_aggregates
 
     # ------------------------------------------------------------------
     # event-level classification

@@ -68,6 +68,24 @@ def build_region_profiles(
     if aggregate not in ("median", "sum"):
         raise ValueError(f"unknown aggregate {aggregate!r}")
     slice_keys = list(slices) if slices is not None else list(GEO_CHARACTERISTICS)
+    engine = dataset.contingency()
+    if engine is not None:
+        return [
+            RegionProfile(
+                network=profile.network,
+                region=profile.region,
+                continent=profile.continent,
+                counters={
+                    slice_key: {
+                        characteristic: _vector_counter(engine, characteristic, vector)
+                        for characteristic, vector in by_char.items()
+                    }
+                    for slice_key, by_char in profile.vectors.items()
+                },
+                fractions=dict(profile.fractions),
+            )
+            for profile in _vector_profiles(dataset, engine, networks, slice_keys, aggregate)
+        ]
     profiles: list[RegionProfile] = []
     neighborhoods = dataset.neighborhoods(list(networks), vantage_prefix="gn-")
     for (network, region_code), vantages in sorted(neighborhoods.items()):
@@ -114,6 +132,114 @@ def build_region_profiles(
             )
         )
     return profiles
+
+
+@dataclass
+class _VectorProfile:
+    """Engine-path region profile: aggregated count vectors instead of
+    Counters.  Vector values are exact (integers, or halves from the
+    median), so elementwise aggregation is bit-equivalent to the legacy
+    Counter arithmetic regardless of summation order."""
+
+    network: str
+    region: str
+    continent: str
+    vectors: dict[str, dict[str, np.ndarray]]  # slice -> characteristic -> vector
+    fractions: dict[str, tuple[int, int]]  # slice -> (malicious, total)
+
+
+def _vector_counter(engine, characteristic: str, vector: np.ndarray) -> Counter:
+    """Materialize one aggregated vector as the legacy Counter (python
+    category objects, zero entries dropped — ``median_counter``'s form)."""
+    values = engine.values[characteristic]
+    if vector.dtype == np.float64:
+        return Counter(
+            {values[col]: float(vector[col]) for col in np.flatnonzero(vector > 0).tolist()}
+        )
+    return Counter(
+        {values[col]: int(vector[col]) for col in np.flatnonzero(vector).tolist()}
+    )
+
+
+def _vector_profiles(
+    dataset: AnalysisDataset,
+    engine,
+    networks: Sequence[str],
+    slice_keys: Sequence[str],
+    aggregate: str = "median",
+) -> list["_VectorProfile"]:
+    """Per-region aggregated vectors off the contingency engine.
+
+    Honeypot selection matches the row path exactly: sorted by vantage
+    id, observing stacks only, honeypots with zero slice events dropped
+    (they are excluded from the median, same as the empty-slice filter).
+    """
+    profiles: list[_VectorProfile] = []
+    neighborhoods = dataset.neighborhoods(list(networks), vantage_prefix="gn-")
+    for (network, region_code), vantages in sorted(neighborhoods.items()):
+        vectors: dict[str, dict[str, np.ndarray]] = {}
+        fractions: dict[str, tuple[int, int]] = {}
+        for slice_key in slice_keys:
+            traffic_slice = SLICES[slice_key]
+            rows = engine.active_rows(
+                slice_key,
+                (
+                    vantage.vantage_id
+                    for vantage in sorted(vantages, key=lambda v: v.vantage_id)
+                    if vantage.stack.observes(traffic_slice.port or 80)
+                ),
+            )
+            by_char: dict[str, np.ndarray] = {}
+            for characteristic in GEO_CHARACTERISTICS[slice_key]:
+                if characteristic == "fraction_malicious":
+                    continue
+                if aggregate == "median":
+                    by_char[characteristic] = engine.median_vector(
+                        slice_key, characteristic, rows
+                    )
+                else:
+                    by_char[characteristic] = engine.sum_vector(
+                        slice_key, characteristic, rows
+                    )
+            vectors[slice_key] = by_char
+            fractions[slice_key] = engine.fraction(slice_key, rows)
+        profiles.append(
+            _VectorProfile(
+                network=network,
+                region=region_code,
+                continent=region_info(region_code).continent.value,
+                vectors=vectors,
+                fractions=fractions,
+            )
+        )
+    return profiles
+
+
+def _compare_vector_profiles(
+    engine, first: _VectorProfile, second: _VectorProfile, slice_key: str, characteristic: str
+) -> Optional[ChiSquareResult]:
+    """Columnar twin of :func:`_compare_profiles`."""
+    if characteristic == "fraction_malicious":
+        fractions = {
+            first.region + "@" + first.network: first.fractions.get(slice_key, (0, 0)),
+            second.region + "@" + second.network: second.fractions.get(slice_key, (0, 0)),
+        }
+        fractions = {key: value for key, value in fractions.items() if value[1] > 0}
+        if len(fractions) < 2:
+            return None
+        return compare_fractions(fractions)
+    vectors = {
+        first.region + "@" + first.network: first.vectors.get(slice_key, {}).get(characteristic),
+        second.region + "@" + second.network: second.vectors.get(slice_key, {}).get(characteristic),
+    }
+    vectors = {
+        key: vector
+        for key, vector in vectors.items()
+        if vector is not None and vector.sum() > 0
+    }
+    if len(vectors) < 2:
+        return None
+    return engine.compare_top_k(vectors, characteristic, k=3)
 
 
 def _compare_profiles(
@@ -178,7 +304,13 @@ def geo_similarity(
     profiles: Optional[list[RegionProfile]] = None,
 ) -> list[GeoPairSummary]:
     """Compute Table 5: % of similar region pairs per grouping."""
-    profiles = profiles if profiles is not None else build_region_profiles(dataset, networks)
+    engine = dataset.contingency() if profiles is None else None
+    if engine is not None:
+        profiles = _vector_profiles(dataset, engine, networks, list(GEO_CHARACTERISTICS))
+        compare = lambda f, s, sk, ch: _compare_vector_profiles(engine, f, s, sk, ch)  # noqa: E731
+    else:
+        profiles = profiles if profiles is not None else build_region_profiles(dataset, networks)
+        compare = _compare_profiles
     by_network: dict[str, list[RegionProfile]] = {}
     for profile in profiles:
         by_network.setdefault(profile.network, []).append(profile)
@@ -198,7 +330,7 @@ def geo_similarity(
             grouped: dict[str, list[Optional[ChiSquareResult]]] = {}
             for grouping, first, second in pairs:
                 grouped.setdefault(grouping, []).append(
-                    _compare_profiles(first, second, slice_key, characteristic)
+                    compare(first, second, slice_key, characteristic)
                 )
             total_tests = sum(
                 1 for results in grouped.values() for result in results if result is not None
@@ -246,7 +378,11 @@ def most_different_regions(
     regions; Bonferroni correction runs over the family of per-network
     region tests.
     """
-    profiles = profiles if profiles is not None else build_region_profiles(dataset, networks)
+    engine = dataset.contingency() if profiles is None else None
+    if engine is not None:
+        profiles = _vector_profiles(dataset, engine, networks, list(GEO_CHARACTERISTICS))
+    else:
+        profiles = profiles if profiles is not None else build_region_profiles(dataset, networks)
     by_network: dict[str, list[RegionProfile]] = {}
     for profile in profiles:
         by_network.setdefault(profile.network, []).append(profile)
@@ -258,13 +394,15 @@ def most_different_regions(
             for characteristic in characteristics:
                 region_results: list[tuple[str, ChiSquareResult]] = []
                 for profile in ordered:
-                    rest = _aggregate_profiles(
-                        [other for other in ordered if other is not profile],
-                        slice_key,
-                        characteristic,
-                    )
-                    own = _profile_counts(profile, slice_key, characteristic)
-                    result = _compare_counts(own, rest, characteristic)
+                    others = [other for other in ordered if other is not profile]
+                    if engine is not None:
+                        result = _compare_vector_rest(
+                            engine, profile, others, slice_key, characteristic
+                        )
+                    else:
+                        rest = _aggregate_profiles(others, slice_key, characteristic)
+                        own = _profile_counts(profile, slice_key, characteristic)
+                        result = _compare_counts(own, rest, characteristic)
                     if result is not None:
                         region_results.append((profile.region, result))
                 significant = [
@@ -287,6 +425,43 @@ def most_different_regions(
                     )
                 )
     return cells
+
+
+def _compare_vector_rest(
+    engine,
+    profile: _VectorProfile,
+    others: Sequence[_VectorProfile],
+    slice_key: str,
+    characteristic: str,
+) -> Optional[ChiSquareResult]:
+    """Columnar twin of the region-vs-rest comparison in
+    :func:`most_different_regions` (``_aggregate_profiles`` +
+    ``_compare_counts``)."""
+    if characteristic == "fraction_malicious":
+        own = profile.fractions.get(slice_key, (0, 0))
+        rest = (
+            sum(other.fractions.get(slice_key, (0, 0))[0] for other in others),
+            sum(other.fractions.get(slice_key, (0, 0))[1] for other in others),
+        )
+        fractions = {"region": own, "rest": rest}
+        fractions = {key: value for key, value in fractions.items() if value[1] > 0}
+        if len(fractions) < 2:
+            return None
+        return compare_fractions(fractions)
+    own_vector = profile.vectors.get(slice_key, {}).get(characteristic)
+    width = len(engine.values[characteristic])
+    if own_vector is None:
+        own_vector = np.zeros(width, dtype=np.float64)
+    rest_vector = np.zeros(width, dtype=np.float64)
+    for other in others:
+        vector = other.vectors.get(slice_key, {}).get(characteristic)
+        if vector is not None:
+            rest_vector += vector
+    vectors = {"region": own_vector, "rest": rest_vector}
+    vectors = {key: vector for key, vector in vectors.items() if vector.sum() > 0}
+    if len(vectors) < 2:
+        return None
+    return engine.compare_top_k(vectors, characteristic, k=3)
 
 
 def _profile_counts(profile: RegionProfile, slice_key: str, characteristic: str):

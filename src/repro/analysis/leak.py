@@ -29,6 +29,8 @@ __all__ = ["LeakRow", "leak_report", "unique_credentials_per_group", "CRAWLER_AS
 #: The engines' own crawler origin ASes (excluded from the comparison).
 CRAWLER_ASES: frozenset[int] = frozenset({398324, 10439})
 
+_CRAWLER_ARRAY = np.array(sorted(CRAWLER_ASES), dtype=np.int64)
+
 #: The (protocol, port) services the experiment emulates.
 LEAK_SERVICES: tuple[tuple[str, int], ...] = (("http", 80), ("ssh", 22), ("telnet", 23))
 
@@ -78,11 +80,108 @@ def _per_ip_hourly(
     return volumes / float(len(ips))
 
 
+def _engine_leak_series(
+    dataset: AnalysisDataset,
+    specs: list[tuple[tuple, int, tuple[int, ...], bool]],
+) -> dict[tuple, np.ndarray]:
+    """Shard-wise hourly histograms for every (port, group, malicious)
+    spec in one pass over the event tables.
+
+    Hourly histograms over disjoint shards are additive, so each shard
+    contributes integer counts and the reduce sums them; the per-IP
+    normalization happens once at assembly, matching
+    :func:`_per_ip_hourly` bit-for-bit.
+    """
+    from repro.experiments.base import run_shard_wise
+
+    from repro.analysis.contingency_engine import dataset_coder
+
+    hours = dataset.window.hours
+    shared_coder = dataset_coder(dataset)
+    ip_arrays = {
+        ips: np.asarray(ips, dtype=np.int64)
+        for _key, _port, ips, _malicious_only in specs
+    }
+    all_ips = np.unique(np.concatenate(list(ip_arrays.values())))
+
+    def map_shard(view) -> dict[tuple, np.ndarray]:
+        from repro.analysis.contingency_engine import _sorted_view_tables
+
+        coder = shared_coder
+        hists = {spec[0]: np.zeros(hours, dtype=np.int64) for spec in specs}
+        for _vpos, table in _sorted_view_tables(view):
+            dst_ips = table.dst_ip
+            # One membership test against the union of experiment IPs
+            # skips the vast majority of vantages outright.
+            relevant = np.isin(dst_ips, all_ips)
+            if not relevant.any():
+                continue
+            ports = table.dst_port
+            timestamps = table.timestamps
+            keep = ~np.isin(table.src_asn, _CRAWLER_ARRAY)
+            base_masks: dict[tuple[int, tuple[int, ...]], np.ndarray] = {}
+            needed = None
+            for _key, port, ips, malicious_only in specs:
+                base_key = (port, ips)
+                base = base_masks.get(base_key)
+                if base is None:
+                    base = (
+                        np.isin(dst_ips, ip_arrays[ips])
+                        & (ports == port)
+                        & keep
+                    )
+                    base_masks[base_key] = base
+                if malicious_only:
+                    needed = base.copy() if needed is None else needed | base
+            # Classify only the rows the malicious specs select — the leak
+            # groups cover a handful of honeypot IPs, so the classifier
+            # sees a sliver of the shard instead of every event.
+            malicious = None
+            if needed is not None and needed.any():
+                rows = np.flatnonzero(needed)
+                payload_codes = np.fromiter(
+                    (coder.payload_code(p) for p in table.payloads[rows].tolist()),
+                    dtype=np.int64,
+                    count=rows.size,
+                )
+                has_cred = np.fromiter(
+                    (bool(c) for c in table.credentials[rows].tolist()),
+                    dtype=bool,
+                    count=rows.size,
+                )
+                flags = coder.malicious_flags(ports[rows], payload_codes, has_cred)
+                malicious = np.zeros(len(table), dtype=bool)
+                malicious[rows] = flags
+            for key, port, ips, malicious_only in specs:
+                if malicious_only and malicious is None:
+                    continue  # no candidate rows, nothing malicious to bin
+                base = base_masks[(port, ips)]
+                mask = base & malicious if malicious_only else base
+                if mask.any():
+                    counts, _edges = np.histogram(
+                        timestamps[mask], bins=hours, range=(0.0, float(hours))
+                    )
+                    hists[key] += counts
+        return hists
+
+    def reduce(partials: list[dict[tuple, np.ndarray]]) -> dict[tuple, np.ndarray]:
+        merged = {spec[0]: np.zeros(hours, dtype=np.int64) for spec in specs}
+        for partial in partials:
+            for key, hist in partial.items():
+                merged[key] += hist
+        return merged
+
+    return run_shard_wise(map_shard, reduce, dataset)
+
+
 def leak_report(dataset: AnalysisDataset, alpha: float = 0.05) -> list[LeakRow]:
     """Compute Table 3."""
     experiment = dataset.leak_experiment
     if experiment is None:
         raise ValueError("dataset has no leak experiment")
+
+    if dataset.tables is not None:
+        return _engine_leak_report(dataset, alpha)
 
     rows: list[LeakRow] = []
     for protocol, port in LEAK_SERVICES:
@@ -120,6 +219,129 @@ def leak_report(dataset: AnalysisDataset, alpha: float = 0.05) -> list[LeakRow]:
     return rows
 
 
+def _engine_leak_report(dataset: AnalysisDataset, alpha: float) -> list[LeakRow]:
+    """Columnar :func:`leak_report`: every series comes from one shard-wise
+    pass instead of a full event scan per (service, group, traffic) cell."""
+    experiment = dataset.leak_experiment
+    hours = dataset.window.hours
+    groups_by_port: dict[int, dict[str, tuple[int, ...]]] = {}
+    specs: list[tuple[tuple, int, tuple[int, ...], bool]] = []
+    for protocol, port in LEAK_SERVICES:
+        groups: dict[str, tuple[int, ...]] = {
+            "control": tuple(experiment.control_ips),
+            "previously": tuple(experiment.previously_leaked_ips),
+        }
+        for leak_group in experiment.leak_groups:
+            if leak_group.port == port:
+                groups[leak_group.engine] = tuple(leak_group.ips)
+        groups_by_port[port] = groups
+        for group_name in ("control", "censys", "shodan", "previously"):
+            ips = groups.get(group_name, ())
+            if not ips:
+                continue
+            for malicious_only in (False, True):
+                specs.append(((group_name, port, malicious_only), port, ips, malicious_only))
+
+    histograms = _engine_leak_series(dataset, specs)
+
+    def series(group_name: str, port: int, malicious_only: bool) -> np.ndarray:
+        ips = groups_by_port[port].get(group_name, ())
+        if not ips:
+            return np.zeros(hours)
+        counts = histograms[(group_name, port, malicious_only)]
+        return counts.astype(np.float64) / float(len(ips))
+
+    rows: list[LeakRow] = []
+    for protocol, port in LEAK_SERVICES:
+        for group_name in ("censys", "shodan", "previously"):
+            for malicious_only in (False, True):
+                leaked_series = series(group_name, port, malicious_only)
+                control = series("control", port, malicious_only)
+                comparison: VolumeComparison = compare_volumes(leaked_series, control)
+                rows.append(
+                    LeakRow(
+                        service=f"{protocol.upper()}/{port}"
+                        if protocol != "http"
+                        else "HTTP/80",
+                        group=group_name,
+                        traffic="malicious" if malicious_only else "all",
+                        fold=comparison.fold,
+                        stochastically_greater=comparison.stochastically_greater(alpha),
+                        distribution_differs=comparison.distribution_differs(alpha),
+                        leaked_spikes=count_spikes(leaked_series),
+                        control_spikes=count_spikes(control),
+                    )
+                )
+    return rows
+
+
+def _engine_unique_credentials(
+    dataset: AnalysisDataset, groups: dict[str, tuple[int, ...]], port: int
+) -> dict[str, float]:
+    """Shard-wise per-honeypot unique-password sets; set unions over
+    disjoint shards are order-free, so the reduce is a plain merge."""
+    from repro.analysis.contingency_engine import dataset_coder
+    from repro.experiments.base import run_shard_wise
+
+    shared_coder = dataset_coder(dataset)
+    group_items = [
+        (name, tuple(int(ip) for ip in ips)) for name, ips in groups.items()
+    ]
+    group_arrays = [
+        (name, np.asarray(ips, dtype=np.int64)) for name, ips in group_items
+    ]
+    all_ips = np.unique(np.concatenate([array for _name, array in group_arrays]))
+
+    def map_shard(view) -> dict[str, dict[int, set[str]]]:
+        from repro.analysis.contingency_engine import _sorted_view_tables
+
+        coder = shared_coder
+        found: dict[str, dict[int, set[str]]] = {name: {} for name, _ips in group_items}
+        for _vpos, table in _sorted_view_tables(view):
+            dst_column = table.dst_ip
+            keep = np.isin(dst_column, all_ips)
+            if not keep.any():
+                continue
+            keep &= (table.dst_port == port) & ~np.isin(table.src_asn, _CRAWLER_ARRAY)
+            if not keep.any():
+                continue
+            _payload_codes, creds = coder.coded(table)
+            _has_cred, pair_rows, _pair_users, pair_passwords = creds
+            if not pair_rows.size:
+                continue
+            selected = keep[pair_rows]
+            destinations = dst_column[pair_rows[selected]]
+            codes = pair_passwords[selected]
+            for name, ips_array in group_arrays:
+                member = np.isin(destinations, ips_array)
+                per_ip = found[name]
+                for ip, code in zip(
+                    destinations[member].tolist(), codes[member].tolist()
+                ):
+                    per_ip.setdefault(int(ip), set()).add(coder.pass_values[code])
+        return found
+
+    def reduce(partials: list[dict[str, dict[int, set[str]]]]) -> dict[str, dict[int, set[str]]]:
+        merged: dict[str, dict[int, set[str]]] = {name: {} for name, _ips in group_items}
+        for partial in partials:
+            for name, per_ip in partial.items():
+                target = merged[name]
+                for ip, passwords in per_ip.items():
+                    known = target.get(ip)
+                    if known is None:
+                        target[ip] = passwords
+                    else:
+                        known |= passwords
+        return merged
+
+    merged = run_shard_wise(map_shard, reduce, dataset)
+    averages: dict[str, float] = {}
+    for name, ips in group_items:
+        per_ip_unique = [len(merged[name].get(ip, ())) for ip in ips]
+        averages[name] = float(np.mean(per_ip_unique)) if per_ip_unique else 0.0
+    return averages
+
+
 def unique_credentials_per_group(
     dataset: AnalysisDataset, port: int = 22
 ) -> dict[str, float]:
@@ -135,6 +357,8 @@ def unique_credentials_per_group(
     for leak_group in experiment.leak_groups:
         if leak_group.port == port:
             groups[leak_group.engine] = leak_group.ips
+    if dataset.tables is not None:
+        return _engine_unique_credentials(dataset, groups, port)
     averages: dict[str, float] = {}
     for name, ips in groups.items():
         per_ip_unique: list[int] = []

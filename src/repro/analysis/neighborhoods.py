@@ -88,6 +88,27 @@ def _neighborhood_comparison(
     return compare_top_k(counters, k=k)
 
 
+def _engine_comparison(engine, slice_key: str, honeypot_rows: dict[str, int], characteristic: str, k: int = 3):
+    """Columnar twin of :func:`_neighborhood_comparison` on count-matrix rows."""
+    if characteristic == "fraction_malicious":
+        fractions = {
+            vantage_id: engine.fraction(slice_key, [row])
+            for vantage_id, row in honeypot_rows.items()
+        }
+        fractions = {key: value for key, value in fractions.items() if value[1] > 0}
+        if len(fractions) < 2:
+            return None
+        return compare_fractions(fractions)
+    matrix = engine.counts[(slice_key, characteristic)]
+    vectors = {
+        vantage_id: matrix[row] for vantage_id, row in honeypot_rows.items()
+    }
+    vectors = {key: vector for key, vector in vectors.items() if vector.sum() > 0}
+    if len(vectors) < 2:
+        return None
+    return engine.compare_top_k(vectors, characteristic, k=k)
+
+
 def neighborhood_report(
     dataset: AnalysisDataset,
     networks: Sequence[str] = GREYNOISE_NETWORKS,
@@ -104,32 +125,49 @@ def neighborhood_report(
     ablations: the paper's Section 3.3 fixes k=3 (footnote 2 explains
     why) and always corrects for multiple comparisons.
     """
+    engine = dataset.contingency()
     neighborhoods = dataset.neighborhoods(networks=list(networks), vantage_prefix="gn-")
     cells: list[NeighborhoodCell] = []
 
     for slice_key, characteristics in TABLE2_LAYOUT.items():
         traffic_slice = SLICES[slice_key]
-        # Pre-slice events per neighborhood honeypot.
+        # Pre-slice per neighborhood honeypot: count-matrix rows on the
+        # engine fast path, event lists on the row-backed fallback.
         sliced: dict[tuple[str, str], dict[str, list]] = {}
         for key, vantages in neighborhoods.items():
             vantages = sorted(vantages, key=lambda v: v.vantage_id)
             if max_honeypots_per_neighborhood is not None:
                 vantages = vantages[:max_honeypots_per_neighborhood]
-            per_honeypot = {
-                vantage.vantage_id: dataset.slice_events(
-                    dataset.events_for(vantage.vantage_id), traffic_slice
-                )
+            observing = [
+                vantage
                 for vantage in vantages
                 if vantage.stack.observes(traffic_slice.port or 80)
-            }
-            per_honeypot = {k: v for k, v in per_honeypot.items() if v}
+            ]
+            if engine is not None:
+                per_honeypot = {
+                    vantage.vantage_id: engine.row(vantage.vantage_id)
+                    for vantage in observing
+                    if engine.row(vantage.vantage_id) is not None
+                    and engine.events[slice_key][engine.row(vantage.vantage_id)] > 0
+                }
+            else:
+                per_honeypot = {
+                    vantage.vantage_id: dataset.slice_events(
+                        dataset.events_for(vantage.vantage_id), traffic_slice
+                    )
+                    for vantage in observing
+                }
+                per_honeypot = {k: v for k, v in per_honeypot.items() if v}
             if len(per_honeypot) >= 2:
                 sliced[key] = per_honeypot
 
         for characteristic in characteristics:
             results = []
             for key, per_honeypot in sorted(sliced.items()):
-                result = _neighborhood_comparison(dataset, per_honeypot, characteristic, k=k)
+                if engine is not None:
+                    result = _engine_comparison(engine, slice_key, per_honeypot, characteristic, k=k)
+                else:
+                    result = _neighborhood_comparison(dataset, per_honeypot, characteristic, k=k)
                 if result is not None:
                     results.append(result)
             corrections = max(len(results), 1) if bonferroni else 1

@@ -122,6 +122,33 @@ def _compare_two(first, second, characteristic: str) -> Optional[ChiSquareResult
     return compare_top_k(counts, k=3)
 
 
+def _group_vectors(engine, vantages, slice_key: str, characteristic: str):
+    """Columnar twin of :func:`_group_counters`: the (network, region)
+    group's malicious fraction or per-category median vector."""
+    rows = engine.active_rows(
+        slice_key,
+        (vantage.vantage_id for vantage in sorted(vantages, key=lambda v: v.vantage_id)),
+    )
+    if characteristic == "fraction_malicious":
+        return engine.fraction(slice_key, rows)
+    return engine.median_vector(slice_key, characteristic, rows)
+
+
+def _compare_two_vectors(engine, first, second, characteristic: str) -> Optional[ChiSquareResult]:
+    """Columnar twin of :func:`_compare_two`."""
+    if characteristic == "fraction_malicious":
+        fractions = {"a": first, "b": second}
+        fractions = {key: value for key, value in fractions.items() if value[1] > 0}
+        if len(fractions) < 2:
+            return None
+        return compare_fractions(fractions)
+    vectors = {"a": first, "b": second}
+    vectors = {key: vector for key, vector in vectors.items() if vector.sum() > 0}
+    if len(vectors) < 2:
+        return None
+    return engine.compare_top_k(vectors, characteristic, k=3)
+
+
 def _site_vantages(dataset: AnalysisDataset, site: str):
     network, region_code = HONEYTRAP_SITES[site]
     return [
@@ -133,6 +160,13 @@ def _site_vantages(dataset: AnalysisDataset, site: str):
 
 def _site_measures_credentials(dataset: AnalysisDataset, site: str) -> bool:
     """Honeytrap captures no credentials, so username/password cells are ×."""
+    engine = dataset.contingency()
+    if engine is not None:
+        return any(
+            engine.cred_events[engine.row(vantage.vantage_id)] > 0
+            for vantage in _site_vantages(dataset, site)
+            if engine.row(vantage.vantage_id) is not None
+        )
     for vantage in _site_vantages(dataset, site):
         for event in dataset.events_for(vantage.vantage_id):
             if event.credentials:
@@ -145,6 +179,16 @@ def network_type_report(
 ) -> list[NetworkPairCell]:
     """Compute Table 7's three comparison families."""
     cells: list[NetworkPairCell] = []
+    engine = dataset.contingency()
+
+    def pair_result(vantages_a, vantages_b, slice_key, characteristic):
+        if engine is not None:
+            first = _group_vectors(engine, vantages_a, slice_key, characteristic)
+            second = _group_vectors(engine, vantages_b, slice_key, characteristic)
+            return _compare_two_vectors(engine, first, second, characteristic)
+        first = _group_counters(dataset, vantages_a, slice_key, characteristic)
+        second = _group_counters(dataset, vantages_b, slice_key, characteristic)
+        return _compare_two(first, second, characteristic)
 
     # ---- cloud-cloud: co-located GreyNoise honeypots ----
     cloud_pairs = colocated_cloud_pairs(dataset)
@@ -154,9 +198,7 @@ def network_type_report(
             for network_a, network_b, region_code in cloud_pairs:
                 group_a = dataset.vantages_in(network=network_a, region=region_code)
                 group_b = dataset.vantages_in(network=network_b, region=region_code)
-                first = _group_counters(dataset, group_a, slice_key, characteristic)
-                second = _group_counters(dataset, group_b, slice_key, characteristic)
-                result = _compare_two(first, second, characteristic)
+                result = pair_result(group_a, group_b, slice_key, characteristic)
                 if result is not None:
                     results.append(result)
             significant = [
@@ -201,13 +243,12 @@ def network_type_report(
                     continue
                 results = []
                 for site_a, site_b in site_pairs:
-                    first = _group_counters(
-                        dataset, _site_vantages(dataset, site_a), slice_key, characteristic
+                    result = pair_result(
+                        _site_vantages(dataset, site_a),
+                        _site_vantages(dataset, site_b),
+                        slice_key,
+                        characteristic,
                     )
-                    second = _group_counters(
-                        dataset, _site_vantages(dataset, site_b), slice_key, characteristic
-                    )
-                    result = _compare_two(first, second, characteristic)
                     if result is not None:
                         results.append(result)
                 significant = [
@@ -258,6 +299,11 @@ def telescope_as_report(dataset: AnalysisDataset, alpha: float = 0.05) -> list[T
     if dataset.telescope is None:
         raise ValueError("dataset has no telescope capture")
     cells: list[TelescopeCell] = []
+    engine = dataset.contingency()
+    # The Table 10 rows restrict by port only (the telescope sees no
+    # payloads to fingerprint): single ports map to the port slices, the
+    # Any/All row to the popular-port pool.
+    engine_slice = {"ssh22": "ssh22", "telnet23": "telnet23", "http80": "port80", "http_all": "popular"}
     for comparison, sites in (
         ("telescope-edu", _TELESCOPE_EDU_SITES),
         ("telescope-cloud", _TELESCOPE_CLOUD_SITES),
@@ -268,11 +314,19 @@ def telescope_as_report(dataset: AnalysisDataset, alpha: float = 0.05) -> list[T
                 telescope_counts.update(dataset.telescope.as_counts(port))
             results = []
             for site in sites:
-                site_counts: Counter = Counter()
-                for vantage in _site_vantages(dataset, site):
-                    for event in dataset.events_for(vantage.vantage_id):
-                        if event.dst_port in ports:
-                            site_counts[event.src_asn] += 1
+                if engine is not None:
+                    rows = [
+                        engine.row(vantage.vantage_id)
+                        for vantage in _site_vantages(dataset, site)
+                        if engine.row(vantage.vantage_id) is not None
+                    ]
+                    site_counts = engine.counter(engine_slice[slice_key], "as", rows)
+                else:
+                    site_counts = Counter()
+                    for vantage in _site_vantages(dataset, site):
+                        for event in dataset.events_for(vantage.vantage_id):
+                            if event.dst_port in ports:
+                                site_counts[event.src_asn] += 1
                 if sum(site_counts.values()) == 0 or sum(telescope_counts.values()) == 0:
                     continue
                 results.append(

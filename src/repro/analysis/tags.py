@@ -15,6 +15,8 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
+import numpy as np
+
 from repro.analysis.dataset import AnalysisDataset
 from repro.sim.events import CapturedEvent
 
@@ -120,8 +122,89 @@ TAG_RULES: tuple[tuple[str, Callable[[SourceBehavior], bool]], ...] = (
 )
 
 
+def _pair_flags(pairs: np.ndarray, selected_codes: set[int], n_sources: int) -> np.ndarray:
+    """Per-source flag: source has a (src, code) pair with a selected code."""
+    flags = np.zeros(n_sources, dtype=bool)
+    if pairs.shape[0] and selected_codes:
+        mask = np.isin(pairs[:, 1], np.fromiter(selected_codes, dtype=np.int64))
+        flags[pairs[mask, 0]] = True
+    return flags
+
+
+def _engine_tag_sources(aggregates) -> dict[int, frozenset[str]]:
+    """Vectorized tagging over per-source aggregates: each TAG_RULES
+    predicate becomes one boolean array over all sources."""
+    n = len(aggregates)
+    mirai_pass = {c for c, v in enumerate(aggregates.pass_values) if v in _MIRAI_MARKERS}
+    huawei_user = {c for c, v in enumerate(aggregates.user_values) if v in _HUAWEI_MARKERS}
+    huawei_pass = {c for c, v in enumerate(aggregates.pass_values) if v in _HUAWEI_MARKERS}
+    exploit_fams = {
+        c for c, v in enumerate(aggregates.family_values)
+        if v in {"web-application-attack", "attempted-admin", "trojan-activity"}
+    }
+    http_fp = {c for c, v in enumerate(aggregates.fp_values) if v == "http"}
+    #: fingerprints outside {None, "http", "unknown"} — the legacy
+    #: ``protocols - {"http", "unknown"}`` over non-None protocols.
+    odd_fp = {
+        c for c, v in enumerate(aggregates.fp_values)
+        if v is not None and v not in ("http", "unknown")
+    }
+    ssh_ports = {22, 2222}
+    telnet_ports = {23, 2323}
+    http_ports = {80, 8080}
+
+    port_pairs = aggregates.port_pairs
+    pass_pairs = aggregates.pass_pairs
+    n_ports = (
+        np.bincount(port_pairs[:, 0], minlength=n)
+        if port_pairs.shape[0] else np.zeros(n, dtype=np.int64)
+    )
+    n_passwords = (
+        np.bincount(pass_pairs[:, 0], minlength=n)
+        if pass_pairs.shape[0] else np.zeros(n, dtype=np.int64)
+    )
+
+    def port_flags(ports: set[int]) -> np.ndarray:
+        flags = np.zeros(n, dtype=bool)
+        if port_pairs.shape[0]:
+            mask = np.isin(port_pairs[:, 1], np.fromiter(ports, dtype=np.int64))
+            flags[port_pairs[mask, 0]] = True
+        return flags
+
+    many_passwords = n_passwords >= 2
+    flag_columns = [
+        _pair_flags(pass_pairs, mirai_pass, n),
+        _pair_flags(aggregates.cred[:, :2], huawei_user, n)
+        | _pair_flags(pass_pairs, huawei_pass, n),
+        port_flags(ssh_ports) & many_passwords,
+        port_flags(telnet_ports) & many_passwords,
+        _pair_flags(aggregates.families, exploit_fams, n),
+        _pair_flags(aggregates.fp_pairs, http_fp, n) & ~aggregates.malicious,
+        port_flags(http_ports) & _pair_flags(aggregates.fp_pairs, odd_fp, n),
+        n_ports >= 5,
+    ]
+    flag_matrix = np.stack(flag_columns, axis=1)
+    tag_names = [tag for tag, _predicate in TAG_RULES]
+    memo: dict[bytes, frozenset[str]] = {}
+    tags: dict[int, frozenset[str]] = {}
+    sources = aggregates.sources
+    for index in aggregates.first_order.tolist():
+        key = flag_matrix[index].tobytes()
+        tag_set = memo.get(key)
+        if tag_set is None:
+            tag_set = frozenset(
+                tag for tag, flagged in zip(tag_names, flag_matrix[index]) if flagged
+            )
+            memo[key] = tag_set
+        tags[int(sources[index])] = tag_set
+    return tags
+
+
 def tag_sources(dataset: AnalysisDataset) -> dict[int, frozenset[str]]:
     """Tag every observed source IP; untaggable sources get an empty set."""
+    aggregates = dataset.source_aggregates()
+    if aggregates is not None:
+        return _engine_tag_sources(aggregates)
     behaviors = _collect_behaviors(dataset)
     return {
         src_ip: frozenset(tag for tag, predicate in TAG_RULES if predicate(behavior))

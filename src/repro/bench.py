@@ -189,6 +189,24 @@ def run_bench(
             for experiment_id in ALL_EXPERIMENTS
             if EXPERIMENT_YEARS.get(experiment_id, year) == year
         ]
+
+    # X3 orchestrates the two off-base years on first run and caches
+    # them on disk, so its timing is bimodal.  Record which mode this
+    # run measured — checked before timing so the check itself cannot
+    # flip the state it reports.
+    x3_cache: Optional[str] = None
+    if "X3" in experiments:
+        from dataclasses import replace
+
+        from repro.experiments.ext_temporal_stability import _run_cache_dir
+
+        off_years = [y for y in (2020, 2021, 2022) if y != year]
+        warm = all(
+            (_run_cache_dir(replace(config, year=y)) / "run.json").exists()
+            for y in off_years
+        )
+        x3_cache = "warm" if warm else "cold"
+
     experiment_timings: dict[str, float] = {}
     for experiment_id in experiments:
         run = ALL_EXPERIMENTS[experiment_id]
@@ -211,7 +229,14 @@ def run_bench(
         "experiments": {
             name: round(value, 4) for name, value in experiment_timings.items()
         },
+        "experiments_total": round(sum(experiment_timings.values()), 4),
+        "slowest_experiment": (
+            max(experiment_timings, key=experiment_timings.get)
+            if experiment_timings else None
+        ),
     }
+    if x3_cache is not None:
+        record["x3_cache"] = x3_cache
     if orchestrate_records:
         record["orchestrate"] = orchestrate_records
         baseline = orchestrate_records.get("1")

@@ -86,6 +86,9 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--year", type=int, default=2021, choices=(2020, 2021, 2022))
     bench.add_argument("--emission", default="batch", choices=("batch", "scalar"),
                        help="event-emission mode to benchmark (default batch)")
+    bench.add_argument("--experiments", nargs="*", default=None, metavar="ID",
+                       help="experiment ids to time (default: all for the "
+                            "year; pass no values to skip analysis timing)")
     bench.add_argument("--orchestrate-workers", nargs="*", type=int,
                        default=(1, 2, 4), metavar="N",
                        help="worker counts to time the orchestrator at "
@@ -282,16 +285,21 @@ def _command_bench(args: argparse.Namespace) -> int:
             artifact=args.output,
         )
         return 0
-    run_bench(
-        scale=args.scale,
-        telescope_slash24s=args.telescope,
-        seed=args.seed,
-        year=args.year,
-        emission=args.emission,
-        orchestrate_workers=tuple(args.orchestrate_workers),
-        orchestrate_sweep=args.orchestrate_sweep,
-        artifact=args.output,
-    )
+    try:
+        run_bench(
+            scale=args.scale,
+            telescope_slash24s=args.telescope,
+            seed=args.seed,
+            year=args.year,
+            emission=args.emission,
+            experiments=args.experiments,
+            orchestrate_workers=tuple(args.orchestrate_workers),
+            orchestrate_sweep=args.orchestrate_sweep,
+            artifact=args.output,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     return 0
 
 

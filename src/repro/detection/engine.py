@@ -49,6 +49,27 @@ class RuleEngine:
     def __init__(self, rules: Optional[Iterable[Rule]] = None) -> None:
         self._rules: list[Rule] = list(rules) if rules is not None else load_default_rules()
         self._verdict_cache: dict[tuple[bytes, Optional[int]], tuple[Alert, ...]] = {}
+        # Flattened matcher table: one prebuilt Alert per rule plus its
+        # match components, so the hot loop runs inline ``in``/``search``
+        # checks instead of two method calls per (payload, rule).  Rules
+        # with no contents and no pcres never fire (matches() contract).
+        self._matchers: list[
+            tuple[Alert, frozenset | None, tuple, tuple, tuple]
+        ] = [
+            (
+                Alert(rule.sid, rule.msg, rule.classtype),
+                rule.dst_ports,
+                tuple(c.needle for c in rule.contents if not c.nocase),
+                tuple(c.needle.lower() for c in rule.contents if c.nocase),
+                rule.pcres,
+            )
+            for rule in self._rules
+            if rule.contents or rule.pcres
+        ]
+        # When every rule applies to any port, verdicts are
+        # port-independent: collapse the cache key so each distinct
+        # payload is classified exactly once across all ports.
+        self._port_blind = all(rule.dst_ports is None for rule in self._rules)
 
     @property
     def rules(self) -> list[Rule]:
@@ -58,19 +79,39 @@ class RuleEngine:
         """All alerts the ruleset raises for one payload."""
         if not payload:
             return ()
-        key = (payload, dst_port)
+        key = (payload, None if self._port_blind else dst_port)
         cached = self._verdict_cache.get(key)
         if cached is not None:
             return cached
-        fired = tuple(
-            Alert(rule.sid, rule.msg, rule.classtype)
-            for rule in self._rules
-            if rule.matches(payload, dst_port)
-        )
+        fired = []
+        lowered: Optional[bytes] = None
+        for alert, ports, needles, nocase, pcres in self._matchers:
+            if ports is not None and dst_port is not None and dst_port not in ports:
+                continue
+            ok = True
+            for needle in needles:
+                if needle not in payload:
+                    ok = False
+                    break
+            if ok and nocase:
+                if lowered is None:
+                    lowered = payload.lower()
+                for needle in nocase:
+                    if needle not in lowered:
+                        ok = False
+                        break
+            if ok:
+                for pattern in pcres:
+                    if pattern.search(payload) is None:
+                        ok = False
+                        break
+            if ok:
+                fired.append(alert)
+        result = tuple(fired)
         # Bound the memo: distinct payloads are few, but be safe.
         if len(self._verdict_cache) < 100_000:
-            self._verdict_cache[key] = fired
-        return fired
+            self._verdict_cache[key] = result
+        return result
 
     def is_malicious(self, payload: bytes, dst_port: Optional[int] = None) -> bool:
         """Does any vetted rule classify this payload as state-altering or

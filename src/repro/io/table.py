@@ -294,13 +294,33 @@ class EventTable:
                 else:
                     parts.append(_object_column(stop - start, value))
         else:
+            # Scalar broadcast runs are the common case for per-batch
+            # constants (dst_port, src_asn): coalesce consecutive scalar
+            # chunks into one np.repeat instead of one np.full each.
             parts = []
+            run_values: list = []
+            run_counts: list = []
+
+            def _flush_runs() -> None:
+                if run_counts:
+                    parts.append(
+                        np.repeat(
+                            np.array(run_values, dtype=dtype),
+                            run_counts,
+                        )
+                    )
+                    run_values.clear()
+                    run_counts.clear()
+
             for chunk, start, stop in self._chunks:
                 value = chunk[name]
                 if isinstance(value, np.ndarray):
+                    _flush_runs()
                     parts.append(value[start:stop].astype(dtype, copy=False))
                 else:
-                    parts.append(np.full(stop - start, value, dtype=dtype))
+                    run_values.append(value)
+                    run_counts.append(stop - start)
+            _flush_runs()
         if not parts:
             array = np.empty(0, dtype=dtype)
         elif len(parts) == 1:

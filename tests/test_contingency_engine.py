@@ -1,0 +1,227 @@
+"""Columnar contingency engine == row-wise analyses, bit for bit.
+
+The engine pre-aggregates per-(vantage × characteristic) count matrices
+and per-source behavior tables in one pass over the event tables; every
+pairwise-comparison analysis then slices those matrices instead of
+re-scanning events.  These tests pin the only contract that makes that
+refactor safe: at a fixed seed, the engine-backed fast paths produce
+*exactly* the same outputs — same values, same float bits, same dict
+ordering — as the legacy row-wise paths they replace.
+
+The row-wise paths stay reachable: a dataset constructed from bare event
+lists (no tables) has no engine, so building a "row twin" of the shared
+fixture exercises legacy code against the same events.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.campaigns import infer_campaigns
+from repro.analysis.commands import command_summary
+from repro.analysis.dataset import AnalysisDataset
+from repro.analysis.geography import (
+    build_region_profiles,
+    geo_similarity,
+    most_different_regions,
+)
+from repro.analysis.leak import leak_report, unique_credentials_per_group
+from repro.analysis.neighborhoods import neighborhood_report
+from repro.analysis.networks import network_type_report, telescope_as_report
+from repro.analysis.tags import tag_distribution, tag_sources
+
+
+def _row_twin(dataset: AnalysisDataset) -> AnalysisDataset:
+    """The same events with no tables: forces every legacy row path."""
+    return AnalysisDataset(
+        events=dataset.events,
+        vantages=dataset.vantages,
+        window=dataset.window,
+        telescope=dataset.telescope,
+        leak_experiment=dataset.leak_experiment,
+    )
+
+
+@pytest.fixture(scope="module")
+def row_dataset(dataset):
+    return _row_twin(dataset)
+
+
+@pytest.fixture(scope="module")
+def dataset_2020(small_context_2020):
+    return small_context_2020.dataset
+
+
+@pytest.fixture(scope="module")
+def row_dataset_2020(dataset_2020):
+    return _row_twin(dataset_2020)
+
+
+class TestEngineAvailability:
+    def test_table_backed_dataset_builds_and_caches_engine(self, dataset):
+        engine = dataset.contingency()
+        assert engine is not None
+        assert dataset.contingency() is engine  # cached, not rebuilt
+        aggregates = dataset.source_aggregates()
+        assert aggregates is not None
+        assert dataset.source_aggregates() is aggregates
+
+    def test_row_backed_dataset_has_no_engine(self, row_dataset):
+        assert row_dataset.tables is None
+        assert row_dataset.contingency() is None
+        assert row_dataset.source_aggregates() is None
+
+
+class TestNeighborhoodParity:
+    def test_default_report(self, dataset, row_dataset):
+        assert neighborhood_report(dataset) == neighborhood_report(row_dataset)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"k": 1},
+        {"k": 5},
+        {"alpha": 0.01},
+        {"bonferroni": False},
+        {"max_honeypots_per_neighborhood": 2},
+    ])
+    def test_parameter_variants(self, dataset, row_dataset, kwargs):
+        assert neighborhood_report(dataset, **kwargs) == neighborhood_report(
+            row_dataset, **kwargs
+        )
+
+    def test_2020(self, dataset_2020, row_dataset_2020):
+        assert neighborhood_report(dataset_2020) == neighborhood_report(
+            row_dataset_2020
+        )
+
+
+class TestGeographyParity:
+    @pytest.mark.parametrize("aggregate", ["median", "sum"])
+    def test_region_profiles(self, dataset, row_dataset, aggregate):
+        fast = build_region_profiles(dataset, aggregate=aggregate)
+        legacy = build_region_profiles(row_dataset, aggregate=aggregate)
+        assert fast == legacy
+
+    def test_geo_similarity(self, dataset, row_dataset):
+        assert geo_similarity(dataset) == geo_similarity(row_dataset)
+
+    def test_most_different_regions(self, dataset, row_dataset):
+        assert most_different_regions(dataset) == most_different_regions(row_dataset)
+
+    def test_explicit_profiles_use_legacy_path(self, dataset, row_dataset):
+        """Pre-built profiles (the ablation entry point) still work."""
+        profiles = build_region_profiles(dataset)
+        assert most_different_regions(
+            dataset, profiles=profiles
+        ) == most_different_regions(row_dataset)
+
+    def test_2020(self, dataset_2020, row_dataset_2020):
+        assert geo_similarity(dataset_2020) == geo_similarity(row_dataset_2020)
+        assert most_different_regions(dataset_2020) == most_different_regions(
+            row_dataset_2020
+        )
+
+
+class TestNetworkParity:
+    def test_network_type_report(self, dataset, row_dataset):
+        assert network_type_report(dataset) == network_type_report(row_dataset)
+
+    def test_telescope_as_report(self, dataset, row_dataset):
+        assert telescope_as_report(dataset) == telescope_as_report(row_dataset)
+
+    def test_2020(self, dataset_2020, row_dataset_2020):
+        assert network_type_report(dataset_2020) == network_type_report(
+            row_dataset_2020
+        )
+        assert telescope_as_report(dataset_2020) == telescope_as_report(
+            row_dataset_2020
+        )
+
+
+class TestTagParity:
+    def test_tag_sources_values_and_order(self, dataset, row_dataset):
+        fast = tag_sources(dataset)
+        legacy = tag_sources(row_dataset)
+        assert fast == legacy
+        # Dict ordering is part of the contract: downstream reports
+        # iterate sources in first-observation order.
+        assert list(fast) == list(legacy)
+
+    def test_tag_distribution(self, dataset, row_dataset):
+        assert tag_distribution(tag_sources(dataset)) == tag_distribution(
+            tag_sources(row_dataset)
+        )
+
+    def test_2020(self, dataset_2020, row_dataset_2020):
+        fast = tag_sources(dataset_2020)
+        legacy = tag_sources(row_dataset_2020)
+        assert fast == legacy and list(fast) == list(legacy)
+
+
+class TestCampaignParity:
+    @pytest.mark.parametrize("min_size", [1, 2, 5])
+    def test_min_size_variants(self, dataset, row_dataset, min_size):
+        assert infer_campaigns(dataset, min_size=min_size) == infer_campaigns(
+            row_dataset, min_size=min_size
+        )
+
+    def test_2020(self, dataset_2020, row_dataset_2020):
+        assert infer_campaigns(dataset_2020, min_size=2) == infer_campaigns(
+            row_dataset_2020, min_size=2
+        )
+
+
+class TestCommandParity:
+    @pytest.mark.parametrize("top", [1, 3, 10, 25])
+    def test_summary(self, dataset, row_dataset, top):
+        fast = command_summary(dataset, top=top)
+        legacy = command_summary(row_dataset, top=top)
+        assert fast == legacy
+        assert fast.top_commands == legacy.top_commands  # order included
+
+    def test_2020(self, dataset_2020, row_dataset_2020):
+        assert command_summary(dataset_2020) == command_summary(row_dataset_2020)
+
+
+class TestLeakParity:
+    def test_leak_report(self, dataset, row_dataset):
+        assert leak_report(dataset) == leak_report(row_dataset)
+
+    def test_leak_report_alpha(self, dataset, row_dataset):
+        assert leak_report(dataset, alpha=0.01) == leak_report(row_dataset, alpha=0.01)
+
+    @pytest.mark.parametrize("port", [22, 23, 80])
+    def test_unique_credentials(self, dataset, row_dataset, port):
+        fast = unique_credentials_per_group(dataset, port=port)
+        legacy = unique_credentials_per_group(row_dataset, port=port)
+        assert fast == legacy
+        assert list(fast) == list(legacy)
+
+
+class TestMatrixInternals:
+    """Cheap invariants on the engine itself (not just its callers)."""
+
+    def test_counts_match_counters(self, dataset):
+        """Matrix rows reproduce exact per-vantage category counts."""
+        from collections import Counter
+
+        engine = dataset.contingency()
+        vantage_id = next(
+            vid for vid, table in dataset.tables.items()
+            if len(table) and engine.row(vid) is not None
+        )
+        events = [e for e in dataset.events if e.vantage_id == vantage_id]
+        expected = Counter(e.src_asn for e in events)
+        row = engine.row(vantage_id)
+        got = engine.counter("any_all", "as", [row])
+        assert got == expected
+
+    def test_events_row_sums(self, dataset):
+        """Each event carries exactly one AS, so AS-matrix row sums are
+        the per-vantage event counts of the slice."""
+        engine = dataset.contingency()
+        for slice_key in ("ssh22", "telnet23", "http80", "any_all"):
+            counts = engine.counts[(slice_key, "as")]
+            np.testing.assert_array_equal(
+                counts.sum(axis=1), engine.events[slice_key]
+            )

@@ -69,6 +69,82 @@ class TestShardWiseEqualsSingleProcess:
         assert isinstance(part.timestamps, np.memmap)
 
 
+class TestContingencyShardWise:
+    """The contingency engine's partial matrices merge additively across
+    shards: a 3-shard build must equal the single-shard build bit for
+    bit, and so must every analysis drawing from it."""
+
+    def test_engine_matrices_merge_exactly(self, dataset, sharded_dataset):
+        single = dataset.contingency()
+        sharded = sharded_dataset.contingency()
+        assert single.vantage_ids == sharded.vantage_ids
+        assert single.counts.keys() == sharded.counts.keys()
+        for key in single.counts:
+            assert single.values[key[1]] == sharded.values[key[1]]
+            np.testing.assert_array_equal(single.counts[key], sharded.counts[key])
+        for slice_key in single.events:
+            np.testing.assert_array_equal(
+                single.events[slice_key], sharded.events[slice_key]
+            )
+            np.testing.assert_array_equal(
+                single.malicious[slice_key], sharded.malicious[slice_key]
+            )
+        np.testing.assert_array_equal(single.cred_events, sharded.cred_events)
+
+    def test_source_aggregates_merge_exactly(self, dataset, sharded_dataset):
+        single = dataset.source_aggregates()
+        sharded = sharded_dataset.source_aggregates()
+        np.testing.assert_array_equal(single.sources, sharded.sources)
+        np.testing.assert_array_equal(single.first_asn, sharded.first_asn)
+        np.testing.assert_array_equal(single.event_count, sharded.event_count)
+        np.testing.assert_array_equal(single.malicious, sharded.malicious)
+        np.testing.assert_array_equal(single.first_order, sharded.first_order)
+
+    def test_neighborhood_report(self, dataset, sharded_dataset):
+        from repro.analysis.neighborhoods import neighborhood_report
+
+        assert neighborhood_report(sharded_dataset) == neighborhood_report(dataset)
+
+    def test_geography(self, dataset, sharded_dataset):
+        from repro.analysis.geography import geo_similarity, most_different_regions
+
+        assert geo_similarity(sharded_dataset) == geo_similarity(dataset)
+        assert most_different_regions(sharded_dataset) == most_different_regions(
+            dataset
+        )
+
+    def test_networks(self, dataset, sharded_dataset):
+        from repro.analysis.networks import network_type_report, telescope_as_report
+
+        assert network_type_report(sharded_dataset) == network_type_report(dataset)
+        assert telescope_as_report(sharded_dataset) == telescope_as_report(dataset)
+
+    def test_tags_and_campaigns(self, dataset, sharded_dataset):
+        from repro.analysis.campaigns import infer_campaigns
+        from repro.analysis.tags import tag_sources
+
+        single_tags = tag_sources(dataset)
+        sharded_tags = tag_sources(sharded_dataset)
+        assert sharded_tags == single_tags
+        assert list(sharded_tags) == list(single_tags)
+        assert infer_campaigns(sharded_dataset, min_size=2) == infer_campaigns(
+            dataset, min_size=2
+        )
+
+    def test_commands(self, dataset, sharded_dataset):
+        from repro.analysis.commands import command_summary
+
+        assert command_summary(sharded_dataset) == command_summary(dataset)
+
+    def test_leak(self, dataset, sharded_dataset):
+        from repro.analysis.leak import leak_report, unique_credentials_per_group
+
+        assert leak_report(sharded_dataset) == leak_report(dataset)
+        assert unique_credentials_per_group(
+            sharded_dataset
+        ) == unique_credentials_per_group(dataset)
+
+
 class TestResumeWithLazyMerge:
     def test_resumed_run_matches_uninterrupted_run(self, sharded_run, tmp_path):
         """Losing a shard and resuming reproduces the analyses exactly."""
