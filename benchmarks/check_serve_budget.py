@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""CI latency smoke for the serving layer: p99 must stay in budget.
+
+Boots a small orchestrated run, serves it through
+:class:`repro.serve.QueryServer`, holds a few hundred concurrent
+keep-alive clients on the hot endpoint mix, and fails if the measured
+p99 request latency exceeds the budget (or any request errors).  The
+budget is deliberately generous — shared CI runners are noisy — but a
+regression that makes every query rescan the shard columns (instead of
+hitting the memoized aggregates and the content-addressed response
+cache) blows through it by an order of magnitude.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_serve_budget.py \
+        [--scale 0.05] [--telescope 4] [--connections 200] \
+        [--duration 3.0] [--p99-budget-ms 250] [--rps-floor 500]
+
+Exits non-zero with the offending numbers on a budget breach.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.experiments import ExperimentConfig  # noqa: E402
+from repro.runner import orchestrate  # noqa: E402
+from repro.serve import QueryServer, RunDirBackend, ServeOptions, run_load  # noqa: E402
+from repro.serve.loadgen import raise_nofile_limit  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="check_serve_budget",
+        description="Fail if served p99 latency exceeds its budget.",
+    )
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--telescope", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--year", type=int, default=2021, choices=(2020, 2021, 2022))
+    parser.add_argument("--connections", type=int, default=200,
+                        help="concurrent keep-alive clients (default 200)")
+    parser.add_argument("--duration", type=float, default=3.0,
+                        help="measured load duration in seconds (default 3.0)")
+    parser.add_argument("--p99-budget-ms", type=float, default=250.0,
+                        help="p99 latency budget in milliseconds (default 250)")
+    parser.add_argument("--rps-floor", type=float, default=500.0,
+                        help="minimum sustained requests/second (default 500)")
+    args = parser.parse_args(argv)
+
+    config = ExperimentConfig(year=args.year, scale=args.scale,
+                              telescope_slash24s=args.telescope, seed=args.seed)
+
+    async def _measure() -> tuple:
+        with tempfile.TemporaryDirectory(prefix="serve-budget-") as tmp:
+            run = orchestrate(config, workers=2, out_dir=tmp, quiet=True)
+            if run.partial:
+                print(f"FAIL orchestrate left shards behind: "
+                      f"{sorted(run.failures)}")
+                return None, 1
+            backend = RunDirBackend(tmp)
+            busiest = max(backend.dataset.tables,
+                          key=lambda v: len(backend.dataset.tables[v]))
+            paths = [
+                "/healthz",
+                "/vantages",
+                f"/top?vantage={busiest}&characteristic=as&k=3",
+                f"/volumes?vantage={busiest}",
+                f"/cardinality?vantage={busiest}",
+                "/compare?characteristic=username&k=3",
+                "/alarms",
+                "/stats",
+            ]
+            raise_nofile_limit(args.connections * 2 + 64)
+            async with QueryServer(backend, ServeOptions()) as server:
+                # Warm the memoized aggregates and the response cache so
+                # the measured phase sees steady state, like a real
+                # deployment after its first minute.
+                await run_load("127.0.0.1", server.port, paths,
+                               connections=8, duration_seconds=0.5)
+                report = await run_load(
+                    "127.0.0.1", server.port, paths,
+                    connections=args.connections,
+                    duration_seconds=args.duration,
+                )
+            return report, 0
+
+    report, code = asyncio.run(_measure())
+    if code:
+        return code
+
+    print(f"serve budget check: {report.connections} connections, "
+          f"{report.requests} requests in {report.seconds:.2f}s "
+          f"({report.rps:,.0f} rps), p50 {report.p50_ms:.2f}ms, "
+          f"p99 {report.p99_ms:.2f}ms, max {report.max_ms:.2f}ms, "
+          f"{report.errors} errors")
+
+    failures = []
+    if report.errors:
+        failures.append(f"{report.errors} request error(s)")
+    if any(status != 200 for status in map(int, report.status_counts)):
+        failures.append(f"non-200 responses: {report.status_counts}")
+    if report.p99_ms > args.p99_budget_ms:
+        failures.append(f"p99 {report.p99_ms:.2f}ms over the "
+                        f"{args.p99_budget_ms:.0f}ms budget")
+    if report.rps < args.rps_floor:
+        failures.append(f"{report.rps:,.0f} rps under the "
+                        f"{args.rps_floor:,.0f} floor")
+    for failure in failures:
+        print(f"FAIL {failure}")
+    if not failures:
+        print("OK all budgets met")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,7 +23,8 @@ import os
 import time
 from typing import Optional, Sequence
 
-__all__ = ["run_bench", "run_stream_bench", "append_record", "DEFAULT_ARTIFACT", "main"]
+__all__ = ["run_bench", "run_stream_bench", "run_serve_bench", "append_record",
+           "DEFAULT_ARTIFACT", "main"]
 
 #: Default JSON artifact, written to the current working directory.
 DEFAULT_ARTIFACT = "BENCH_simulation.json"
@@ -350,6 +351,172 @@ def run_stream_bench(
         f"state ~{record['state_bytes']:,} B, "
         f"{bus.stats.dropped_events} dropped / "
         f"{bus.stats.backpressure_flushes} backpressure flush(es); "
+        f"record appended to {written}"
+    )
+    return record
+
+
+def run_serve_bench(
+    scale: float = 0.1,
+    telescope_slash24s: int = 8,
+    seed: int = 777,
+    year: int = 2021,
+    connections: int = 1000,
+    duration_seconds: float = 5.0,
+    live_connections: int = 64,
+    artifact: Optional[str] = None,
+    quiet: bool = False,
+) -> dict:
+    """Benchmark the serving layer under concurrent load; append the record.
+
+    Two phases, mirroring the two backends:
+
+    1. **live** — simulate one window streaming through a default-sized
+       :class:`~repro.stream.bus.StreamBus` into the live backend on an
+       ingest thread, while ``live_connections`` concurrent clients
+       query the HTTP server the whole time.  The record keeps the bus's
+       drop counters: the acceptance bar is *zero* drops at the default
+       queue size while queries are being answered.
+    2. **run-dir** — orchestrate a small run, serve it exactly, and hold
+       ``connections`` (≥ 1000 for the pinned record) keep-alive clients
+       open for ``duration_seconds``, recording sustained RPS and
+       p50/p99 request latency.
+    """
+    import asyncio
+    import shutil
+    import tempfile
+    import threading
+
+    from repro.deployment.fleet import build_full_deployment
+    from repro.experiments import ExperimentConfig
+    from repro.experiments.context import _WINDOWS
+    from repro.runner import orchestrate
+    from repro.scanners.population import PopulationConfig, build_population
+    from repro.serve import QueryServer, RunDirBackend, ServeOptions, run_load
+    from repro.serve.backends import build_live_pipeline
+    from repro.sim.engine import SimulationConfig, run_simulation
+    from repro.sim.rng import RngHub
+
+    def _say(message: str) -> None:
+        if not quiet:
+            print(message, flush=True)
+
+    config = ExperimentConfig(
+        year=year, scale=scale, telescope_slash24s=telescope_slash24s, seed=seed
+    )
+
+    # -- phase 1: live backend queried during ingest -------------------
+    hub = RngHub(seed)
+    deployment = build_full_deployment(hub, num_telescope_slash24s=telescope_slash24s)
+    population = build_population(PopulationConfig(year=year, scale=scale))
+    bus, analyzer, _tracker, live_backend = build_live_pipeline(
+        _WINDOWS[year].hours, leak_experiment=deployment.leak_experiment
+    )
+
+    async def _live_phase() -> dict:
+        async with QueryServer(live_backend, ServeOptions()) as server:
+            ingest = threading.Thread(
+                target=lambda: (
+                    run_simulation(
+                        deployment,
+                        population,
+                        SimulationConfig(seed=seed, window=_WINDOWS[year]),
+                        tap=bus.table_tap(),
+                    ),
+                    bus.close(),
+                ),
+                daemon=True,
+            )
+            started = time.perf_counter()
+            ingest.start()
+            paths = ["/healthz", "/vantages", "/stats",
+                     "/compare?characteristic=as", "/cardinality"]
+            reports = []
+            while True:
+                reports.append(await run_load(
+                    server.options.host, server.port, paths,
+                    connections=live_connections, duration_seconds=0.5,
+                ))
+                if not ingest.is_alive():
+                    break
+            ingest.join()
+            seconds = time.perf_counter() - started
+            await server.stop()
+            queries = sum(report.requests for report in reports)
+            return {
+                "ingest_seconds": round(seconds, 4),
+                "events": analyzer.events_consumed,
+                "connections": live_connections,
+                "queries_during_ingest": queries,
+                "query_errors": sum(report.errors for report in reports),
+                "bus": bus.stats.as_dict(),
+                "server": server.stats.as_dict(),
+            }
+
+    live_record = asyncio.run(_live_phase())
+    _say(f"live phase: {live_record['events']:,} events ingested in "
+         f"{live_record['ingest_seconds']:.2f}s while answering "
+         f"{live_record['queries_during_ingest']:,} queries "
+         f"({live_record['bus']['dropped_events']} events dropped)")
+
+    # -- phase 2: run-dir backend at full concurrency ------------------
+    out_dir = tempfile.mkdtemp(prefix="cw-bench-serve-")
+    try:
+        run = orchestrate(config, workers=2, out_dir=out_dir, quiet=True)
+        backend = RunDirBackend(out_dir)
+        busiest = max(backend.dataset.tables, key=lambda v: len(backend.dataset.tables[v]))
+        paths = [
+            "/healthz",
+            "/vantages",
+            "/cardinality",
+            f"/top?vantage={busiest}&characteristic=as&k=3",
+            f"/volumes?vantage={busiest}",
+            "/compare?characteristic=username&k=3",
+            "/alarms",
+            "/stats",
+        ]
+
+        async def _run_dir_phase():
+            async with QueryServer(backend, ServeOptions()) as server:
+                # Warm the content-addressed cache so the measured phase
+                # is the steady state a long-lived server actually runs.
+                await run_load(server.options.host, server.port, paths,
+                               connections=8, duration_seconds=0.5)
+                report = await run_load(
+                    server.options.host, server.port, paths,
+                    connections=connections, duration_seconds=duration_seconds,
+                )
+                stats = server.stats.as_dict()
+                await server.stop()
+                return report, stats
+
+        report, server_stats = asyncio.run(_run_dir_phase())
+    finally:
+        shutil.rmtree(out_dir, ignore_errors=True)
+
+    record = {
+        "timestamp": _timestamp(),
+        "kind": "serve-bench",
+        "scale": scale,
+        "telescope_slash24s": telescope_slash24s,
+        "seed": seed,
+        "year": year,
+        "events": run.stats.events_total,
+        "live": live_record,
+        "run_dir": {
+            "connections": report.connections,
+            "duration_seconds": duration_seconds,
+            **{key: value for key, value in report.as_dict().items()
+               if key != "connections"},
+            "server": server_stats,
+        },
+    }
+    written = append_record(record, artifact)
+    _say(
+        f"run-dir phase: {report.requests:,} requests over "
+        f"{report.connections:,} concurrent connections in "
+        f"{report.seconds:.2f}s ({report.rps:,.0f} req/s, "
+        f"p50 {report.p50_ms:.2f}ms, p99 {report.p99_ms:.2f}ms); "
         f"record appended to {written}"
     )
     return record

@@ -7,10 +7,12 @@ Subcommands::
     cloudwatching run all
     cloudwatching simulate out.ndjson.gz    # write a dataset release
     cloudwatching orchestrate --workers auto --out runs/full --resume
-    cloudwatching serve --port 8080=http --port 2323=telnet --duration 30
+    cloudwatching honeypots --port 8080=http --port 2323=telnet --duration 30
     cloudwatching watch --simulate --scale 0.05     # stream a tapped sim
     cloudwatching watch --run-dir runs/full         # stream spilled shards
     cloudwatching watch --live --port 2323=telnet   # stream a live fleet
+    cloudwatching serve --run-dir runs/full         # query API over a run
+    cloudwatching serve --simulate --scale 0.1      # query API over live sketches
 """
 
 from __future__ import annotations
@@ -20,7 +22,7 @@ import inspect
 import sys
 import time
 
-from repro.experiments import ALL_EXPERIMENTS, ExperimentConfig, get_context
+from repro.experiments import ALL_EXPERIMENTS, get_context
 
 #: Temporal experiments run on their own year's population.
 EXPERIMENT_YEARS: dict[str, int] = {
@@ -99,6 +101,15 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--stream", action="store_true",
                        help="benchmark sustained ingest through the streaming "
                             "subsystem instead of the simulate→analyze path")
+    bench.add_argument("--serve", action="store_true",
+                       help="benchmark the HTTP serving layer: live queries "
+                            "during ingest, then sustained concurrent load "
+                            "against a run-dir backend")
+    bench.add_argument("--connections", type=int, default=1000,
+                       help="serve bench: concurrent keep-alive clients for "
+                            "the run-dir phase (default 1000)")
+    bench.add_argument("--duration", type=float, default=5.0,
+                       help="serve bench: seconds of sustained load (default 5)")
     bench.add_argument("--output", default=None, metavar="BENCH.json",
                        help="artifact path (default BENCH_simulation.json)")
 
@@ -146,15 +157,51 @@ def _build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--max-connections", type=int, default=0,
                        help="live source: concurrent-session cap (0 = unlimited)")
 
-    serve = subparsers.add_parser(
-        "serve", help="run live honeypots on loopback and print captures"
+    honeypots = subparsers.add_parser(
+        "honeypots", help="run live honeypots on loopback and print captures"
     )
-    serve.add_argument("--port", action="append", default=[], metavar="PORT=SERVICE",
-                       help="e.g. 8080=http, 2323=telnet, 2222=ssh, 9000=raw "
-                            "(repeatable; default: 8080=http 2323=telnet)")
-    serve.add_argument("--duration", type=float, default=30.0,
-                       help="seconds to serve before exiting (default 30)")
+    honeypots.add_argument("--port", action="append", default=[], metavar="PORT=SERVICE",
+                           help="e.g. 8080=http, 2323=telnet, 2222=ssh, 9000=raw "
+                                "(repeatable; default: 8080=http 2323=telnet)")
+    honeypots.add_argument("--duration", type=float, default=30.0,
+                           help="seconds to serve before exiting (default 30)")
+    honeypots.add_argument("--host", default="127.0.0.1")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="HTTP query API over a run directory (exact batch answers) "
+             "or a live tapped simulation (sketch estimates)",
+    )
+    serve_source = serve.add_mutually_exclusive_group()
+    serve_source.add_argument("--run-dir", default=None, metavar="DIR",
+                              help="serve a 'cloudwatching orchestrate' output "
+                                   "directory exactly, with a content-addressed "
+                                   "response cache")
+    serve_source.add_argument("--simulate", action="store_true",
+                              help="serve live sketch state while a tapped "
+                                   "simulation streams in (default source)")
+    serve.add_argument("--year", type=int, default=2021, choices=(2020, 2021, 2022))
+    _add_sim_args(serve)
     serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (default 0 = OS-assigned, printed at start)")
+    serve.add_argument("--backlog", type=int, default=512,
+                       help="listen backlog (default 512)")
+    serve.add_argument("--max-connections", type=int, default=4096,
+                       help="concurrent-connection cap, 503 + counted rejection "
+                            "beyond it (0 = unlimited; default 4096)")
+    serve.add_argument("--max-request-bytes", type=int, default=8192,
+                       help="request-head byte cap (default 8192)")
+    serve.add_argument("--read-timeout", type=float, default=30.0,
+                       help="idle keep-alive read timeout in seconds (default 30)")
+    serve.add_argument("--keepalive-requests", type=int, default=0,
+                       help="requests per connection before close (0 = unlimited)")
+    serve.add_argument("--duration", type=float, default=0.0,
+                       help="seconds to serve before draining (0 = until interrupted)")
+    serve.add_argument("--sketch-k", type=int, default=64,
+                       help="simulate source: Space-Saving capacity (default 64)")
+    serve.add_argument("--queue-events", type=int, default=65536,
+                       help="simulate source: bus buffer bound in events (default 65536)")
     return parser
 
 
@@ -179,6 +226,31 @@ def _add_sim_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--telescope", type=int, default=16,
                         help="telescope size in /24s (default 16)")
     parser.add_argument("--seed", type=int, default=20230701)
+
+
+def _sim_config(args: argparse.Namespace, year: int | None = None):
+    """Validate the CLI's simulation arguments through the serve schema.
+
+    Every subcommand that starts the engine goes through the same
+    :class:`~repro.serve.schema.SimulationPayload` contract the API
+    uses, so a bad ``--scale`` fails identically over argv and HTTP.
+    Returns the validated ExperimentConfig, or None after printing the
+    structured violations.
+    """
+    from repro.serve.schema import SchemaError, validate_simulation_config
+
+    try:
+        return validate_simulation_config(
+            year=year if year is not None else getattr(args, "year", 2021),
+            scale=args.scale,
+            telescope_slash24s=args.telescope,
+            seed=args.seed,
+        )
+    except SchemaError as error:
+        for item in error.errors:
+            print(f"error: {item['field']}: {item['message']} "
+                  f"(got {item['value']!r})", file=sys.stderr)
+        return None
 
 
 def _experiment_description(driver) -> str:
@@ -208,10 +280,10 @@ def _command_run(args: argparse.Namespace) -> int:
     outputs = []
     for experiment_id in requested:
         year = EXPERIMENT_YEARS.get(experiment_id, 2021)
-        context = get_context(
-            ExperimentConfig(year=year, scale=args.scale,
-                             telescope_slash24s=args.telescope, seed=args.seed)
-        )
+        config = _sim_config(args, year=year)
+        if config is None:
+            return 2
+        context = get_context(config)
         started = time.time()
         output = ALL_EXPERIMENTS[experiment_id](context)
         outputs.append(output)
@@ -228,10 +300,10 @@ def _command_run(args: argparse.Namespace) -> int:
 def _command_simulate(args: argparse.Namespace) -> int:
     from repro.io.records import write_events
 
-    context = get_context(
-        ExperimentConfig(year=args.year, scale=args.scale,
-                         telescope_slash24s=args.telescope, seed=args.seed)
-    )
+    config = _sim_config(args)
+    if config is None:
+        return 2
+    context = get_context(config)
     count = write_events(args.output, context.result.events())
     print(f"wrote {count:,} events ({args.year} population, scale {args.scale}) "
           f"to {args.output}")
@@ -239,11 +311,11 @@ def _command_simulate(args: argparse.Namespace) -> int:
 
 
 def _command_orchestrate(args: argparse.Namespace) -> int:
-    from repro.experiments import ExperimentConfig
     from repro.runner import orchestrate, run_experiments
 
-    config = ExperimentConfig(year=args.year, scale=args.scale,
-                              telescope_slash24s=args.telescope, seed=args.seed)
+    config = _sim_config(args)
+    if config is None:
+        return 2
     run = orchestrate(
         config,
         workers=args.workers,
@@ -274,8 +346,21 @@ def _command_orchestrate(args: argparse.Namespace) -> int:
 
 
 def _command_bench(args: argparse.Namespace) -> int:
-    from repro.bench import run_bench, run_stream_bench
+    from repro.bench import run_bench, run_serve_bench, run_stream_bench
 
+    if _sim_config(args) is None:
+        return 2
+    if args.serve:
+        run_serve_bench(
+            scale=args.scale,
+            telescope_slash24s=args.telescope,
+            seed=args.seed,
+            year=args.year,
+            connections=args.connections,
+            duration_seconds=args.duration,
+            artifact=args.output,
+        )
+        return 0
     if args.stream:
         run_stream_bench(
             scale=args.scale,
@@ -362,18 +447,17 @@ def _command_watch(args: argparse.Namespace) -> int:
             honeypot_kwargs={"max_connections": args.max_connections},
         )
     else:
-        summary = watch_simulation(
-            ExperimentConfig(year=args.year, scale=args.scale,
-                             telescope_slash24s=args.telescope, seed=args.seed),
-            options,
-        )
+        config = _sim_config(args)
+        if config is None:
+            return 2
+        summary = watch_simulation(config, options)
     bus = summary["bus"]
     print(f"watch done: {summary['events']:,} events in {summary['seconds']:.2f}s "
           f"({summary['snapshots']} snapshot(s), {bus['dropped_events']} dropped)")
     return 0
 
 
-def _command_serve(args: argparse.Namespace) -> int:
+def _command_honeypots(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.honeypots.live import LiveHoneypot
@@ -403,6 +487,96 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import threading
+
+    from repro.serve import QueryServer, RunDirBackend, ServeOptions
+
+    options = ServeOptions(
+        host=args.host,
+        port=args.port,
+        backlog=args.backlog,
+        max_connections=args.max_connections,
+        max_request_bytes=args.max_request_bytes,
+        read_timeout=args.read_timeout,
+        keepalive_requests=args.keepalive_requests,
+    )
+
+    ingest: threading.Thread | None = None
+    if args.run_dir:
+        try:
+            backend = RunDirBackend(args.run_dir)
+        except FileNotFoundError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        label = (f"run dir {args.run_dir} "
+                 f"({len(backend.dataset.tables)} vantages, "
+                 f"digest {backend.dataset_digest[:12]})")
+    else:
+        config = _sim_config(args)
+        if config is None:
+            return 2
+        from repro.deployment.fleet import build_full_deployment
+        from repro.experiments.context import _WINDOWS
+        from repro.scanners.population import PopulationConfig, build_population
+        from repro.serve.backends import build_live_pipeline
+        from repro.sim.engine import SimulationConfig, run_simulation
+        from repro.sim.rng import RngHub
+
+        window = _WINDOWS[config.year]
+        deployment = build_full_deployment(
+            RngHub(config.seed), num_telescope_slash24s=config.telescope_slash24s
+        )
+        population = build_population(
+            PopulationConfig(year=config.year, scale=config.scale)
+        )
+        bus, _analyzer, _tracker, backend = build_live_pipeline(
+            window.hours,
+            leak_experiment=deployment.leak_experiment,
+            sketch_k=args.sketch_k,
+            max_buffered_events=args.queue_events,
+        )
+
+        def _ingest() -> None:
+            run_simulation(
+                deployment,
+                population,
+                SimulationConfig(seed=config.seed, window=window),
+                tap=bus.table_tap(),
+            )
+            bus.close()
+
+        ingest = threading.Thread(target=_ingest, daemon=True)
+        label = (f"live simulation ({len(population)} campaigns, "
+                 f"scale {config.scale}, seed {config.seed})")
+
+    async def _serve():
+        server = QueryServer(backend, options)
+        await server.start()
+        print(f"serving {label} on http://{options.host}:{server.port}", flush=True)
+        if ingest is not None:
+            ingest.start()
+        try:
+            if args.duration > 0:
+                await asyncio.sleep(args.duration)
+            else:
+                await server.serve_forever()
+        finally:
+            await server.stop()  # graceful drain of in-flight requests
+        return server.stats
+
+    try:
+        stats = asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 0
+    print(f"served {stats.requests_served:,} request(s) over "
+          f"{stats.connections_accepted:,} connection(s) "
+          f"({stats.rejected_connections} rejected); drained cleanly")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -417,6 +591,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_bench(args)
     if args.command == "watch":
         return _command_watch(args)
+    if args.command == "honeypots":
+        return _command_honeypots(args)
     if args.command == "serve":
         return _command_serve(args)
     raise AssertionError("unreachable")

@@ -1,0 +1,47 @@
+"""repro.serve — the queryable API plane over the reproduction.
+
+The paper's vantage (GreyNoise) is *served* telemetry: analysts query an
+API, not a pile of pcaps.  This package closes that gap for the
+reproduction — a stdlib-asyncio HTTP/1.1 server answering the same
+questions the batch experiments do, from either a live sketch stream or
+a completed run directory.
+
+* :mod:`repro.serve.schema` — typed, validation-first request contracts
+  (and the CLI's simulation-config contract).
+* :mod:`repro.serve.backends` — live (sketch estimates) and run-dir
+  (exact batch values, content-addressed cache) backends.
+* :mod:`repro.serve.http` — the hardened asyncio HTTP front.
+* :mod:`repro.serve.loadgen` — the concurrent-client load generator
+  behind ``cloudwatching bench --serve``.
+"""
+
+from repro.serve.backends import (
+    LiveBackend,
+    ReputationTracker,
+    RunDirBackend,
+    ServeBackend,
+)
+from repro.serve.http import QueryServer, ServeOptions, ServerStats
+from repro.serve.loadgen import LoadReport, run_load
+from repro.serve.schema import (
+    Characteristic,
+    SchemaError,
+    SimulationPayload,
+    validate_simulation_config,
+)
+
+__all__ = [
+    "ServeBackend",
+    "LiveBackend",
+    "RunDirBackend",
+    "ReputationTracker",
+    "QueryServer",
+    "ServeOptions",
+    "ServerStats",
+    "LoadReport",
+    "run_load",
+    "SchemaError",
+    "Characteristic",
+    "SimulationPayload",
+    "validate_simulation_config",
+]

@@ -1,0 +1,782 @@
+"""The serving layer's two backends: live sketch state and run dirs.
+
+Both backends answer the same endpoint set with the same JSON shapes,
+so a client (and the test suite) can move between them freely:
+
+========================  ==================================================
+``GET /healthz``          liveness + backend identity
+``GET /vantages``         per-vantage rates, distinct sources, spike counts
+``GET /top``              Space-Saving / exact top-k for one characteristic
+``GET /cardinality``      distinct-source cardinalities (HLL or exact)
+``GET /volumes``          one vantage's hourly event series
+``GET /compare``          the §3.3 cross-vantage chi-squared, on demand
+``GET /ip``               per-IP GreyNoise-style classification
+``GET /alarms``           streaming Table 3 leak-alarm status
+``GET /stats``            bus backpressure/drop counters + server stats
+========================  ==================================================
+
+* :class:`LiveBackend` attaches to a running
+  :class:`~repro.stream.analyzer.StreamAnalyzer` /
+  :class:`~repro.stream.bus.StreamBus` pair and answers from bounded
+  sketch state — estimates with explicit error bounds, never a rescan,
+  so a query can never block or slow ingest beyond the shared lock's
+  microseconds.  Per-IP classification comes from a bounded
+  :class:`ReputationTracker` fed off the same bus.
+* :class:`RunDirBackend` opens a completed ``cloudwatching orchestrate``
+  output directory through the memory-mapped shard banks
+  (:class:`~repro.io.lazy.ShardedEventTable`) and answers with *exact*
+  batch values computed by the same columnar machinery the experiment
+  drivers use, memoized per (dataset digest, endpoint, params) in a
+  content-addressed response cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import Counter, OrderedDict
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+import numpy as np
+
+from repro.net.addresses import int_to_ip
+from repro.serve.schema import (
+    AlarmsQuery,
+    CardinalityQuery,
+    CompareQuery,
+    Characteristic,
+    IpQuery,
+    NoParamsQuery,
+    SchemaError,
+    TopQuery,
+    VolumesQuery,
+)
+
+__all__ = [
+    "ROUTES",
+    "ServeBackend",
+    "LiveBackend",
+    "RunDirBackend",
+    "ReputationTracker",
+    "LockedConsumer",
+    "build_live_pipeline",
+    "encode_category",
+    "load_run_dir",
+]
+
+#: path -> (request contract, backend method name)
+ROUTES = {
+    "/healthz": (NoParamsQuery, "health"),
+    "/vantages": (NoParamsQuery, "vantages"),
+    "/top": (TopQuery, "top"),
+    "/cardinality": (CardinalityQuery, "cardinality"),
+    "/volumes": (VolumesQuery, "volumes"),
+    "/compare": (CompareQuery, "compare"),
+    "/ip": (IpQuery, "classify"),
+    "/alarms": (AlarmsQuery, "alarms"),
+    "/stats": (NoParamsQuery, "stats"),
+}
+
+
+def encode_category(category) -> Union[int, str, dict]:
+    """One sketch/counter category as a JSON-safe value.
+
+    Integers (ASes) and strings (credentials) pass through; payload
+    bytes become ``{"base64", "text"}`` so binary payloads survive JSON
+    without loss while staying human-readable.
+    """
+    import base64
+
+    if isinstance(category, bytes):
+        text = category.split(b"\r\n", 1)[0].decode("utf-8", errors="replace")[:64]
+        return {"base64": base64.b64encode(category).decode("ascii"), "text": text}
+    if isinstance(category, (int, np.integer)):
+        return int(category)
+    return str(category)
+
+
+def _chi_square_json(result) -> dict:
+    return {
+        "statistic": float(result.statistic),
+        "p_value": float(result.p_value),
+        "dof": int(result.dof),
+        "phi": float(result.phi),
+        "df_min": int(result.df_min),
+        "sample_size": int(result.sample_size),
+        "valid": bool(result.valid),
+        "magnitude": str(result.magnitude) if result.valid else "untestable",
+    }
+
+
+def _alarm_json(alarm) -> dict:
+    return {
+        "service": alarm.service,
+        "group": alarm.group,
+        "fold": float(alarm.fold),
+        "mwu_p": float(alarm.mwu_p),
+        "ks_p": float(alarm.ks_p),
+        "stochastically_greater": bool(alarm.stochastically_greater),
+        "distribution_differs": bool(alarm.distribution_differs),
+        "leaked_spikes": int(alarm.leaked_spikes),
+        "control_spikes": int(alarm.control_spikes),
+        "trailing_hours": int(alarm.trailing_hours),
+    }
+
+
+class ServeBackend:
+    """Routing shared by both backends: contract-validate, dispatch."""
+
+    #: "live" or "run-dir" — stamped into /healthz and /stats.
+    mode: str = "abstract"
+
+    def handle(self, path: str, params: Mapping[str, str]) -> Optional[dict]:
+        """Answer one request; ``None`` for unknown paths (a 404).
+
+        Contract violations — including unknown vantage ids — raise
+        :class:`~repro.serve.schema.SchemaError`, which the HTTP layer
+        renders as a structured 400.
+        """
+        route = ROUTES.get(path)
+        if route is None:
+            return None
+        contract, method = route
+        query = contract.parse(params)
+        return getattr(self, method)(query)
+
+    def cache_key(self, path: str, params: Mapping[str, str]) -> Optional[str]:
+        """Content address of this response, or None when uncacheable."""
+        return None
+
+    def _unknown_vantage(self, vantage: str) -> SchemaError:
+        return SchemaError.single("vantage", "unknown vantage", vantage)
+
+    # Subclasses implement: health, vantages, top, cardinality, volumes,
+    # compare, classify, alarms, stats.
+
+
+# ---------------------------------------------------------------------------
+# live mode
+# ---------------------------------------------------------------------------
+
+
+class ReputationTracker:
+    """Bounded per-IP reputation over the stream (GreyNoise's question:
+    *who is this scanner?*).
+
+    A bus subscriber maintaining at most ``capacity`` per-IP records
+    (source ASN, event count, malicious flag).  Classification follows
+    the paper's §3.2 definitions exactly — an IP is *malicious* once any
+    of its events attempts a login or trips the vetted ruleset, *benign*
+    when its operator AS is on the vetted registry, *unknown* otherwise.
+    At capacity the oldest non-malicious record is evicted (malicious
+    verdicts are the scarce signal worth keeping), so memory stays
+    bounded no matter how many sources scan.
+    """
+
+    def __init__(self, capacity: int = 65536, rule_engine=None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        from repro.detection.engine import RuleEngine
+
+        self.capacity = capacity
+        self.rule_engine = rule_engine or RuleEngine()
+        #: ip -> [asn, events, malicious] in least-recently-seen order.
+        self._records: OrderedDict[int, list] = OrderedDict()
+        self.evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def consume(self, chunk) -> None:
+        src_ips = chunk.resolved("src_ip")
+        src_asns = chunk.resolved("src_asn")
+        length = len(chunk)
+
+        credentials = chunk.raw("credentials")
+        if isinstance(credentials, np.ndarray):
+            attempted = [bool(pairs) for pairs in credentials[chunk.start:chunk.stop]]
+        else:
+            attempted = [bool(credentials)] * length
+
+        payload = chunk.raw("payload")
+        port = chunk.raw("dst_port")
+        if isinstance(payload, np.ndarray):
+            payloads = payload[chunk.start:chunk.stop]
+            ports = chunk.resolved("dst_port")
+            verdicts = [
+                bool(value)
+                and self.rule_engine.is_malicious(value, int(ports[index]))
+                for index, value in enumerate(payloads)
+            ]
+        elif isinstance(port, np.ndarray):
+            ports = chunk.resolved("dst_port")
+            verdicts = [
+                bool(payload)
+                and self.rule_engine.is_malicious(payload, int(ports[index]))
+                for index in range(length)
+            ]
+        else:
+            # Scalar broadcast run: one ruleset evaluation for the lot.
+            verdict = bool(payload) and self.rule_engine.is_malicious(
+                payload, int(port)
+            )
+            verdicts = [verdict] * length
+
+        records = self._records
+        for index in range(length):
+            ip = int(src_ips[index])
+            malicious = attempted[index] or verdicts[index]
+            record = records.get(ip)
+            if record is None:
+                records[ip] = [int(src_asns[index]), 1, malicious]
+                self._evict_if_needed()
+            else:
+                record[0] = int(src_asns[index])
+                record[1] += 1
+                record[2] = record[2] or malicious
+                records.move_to_end(ip)
+
+    def _evict_if_needed(self) -> None:
+        while len(self._records) > self.capacity:
+            for ip in self._records:
+                if not self._records[ip][2]:
+                    del self._records[ip]
+                    break
+            else:  # every record is malicious: evict the oldest anyway
+                self._records.popitem(last=False)
+            self.evicted += 1
+
+    def classify(self, ip: int) -> dict:
+        from repro.detection.classify import VETTED_BENIGN_ASES
+
+        record = self._records.get(ip)
+        if record is None:
+            return {"seen": False, "reputation": "unknown", "events": 0, "asn": None}
+        asn, events, malicious = record
+        if malicious:
+            reputation = "malicious"
+        elif asn in VETTED_BENIGN_ASES:
+            reputation = "benign"
+        else:
+            reputation = "unknown"
+        return {"seen": True, "reputation": reputation,
+                "events": int(events), "asn": int(asn)}
+
+    def state_bytes(self) -> int:
+        return 64 * len(self._records)
+
+
+class LiveBackend(ServeBackend):
+    """Serve a running analyzer's sketch state without blocking ingest.
+
+    ``lock`` is shared with the ingest side (the thread publishing to
+    the bus): every answer is computed under it, so queries see
+    consistent sketch state and ingest never observes a half-read.
+    Estimates are labeled ``"exact": false`` and carry their error
+    bounds — a Space-Saving answer is an overestimate by at most the
+    reported per-entry error.
+    """
+
+    mode = "live"
+
+    def __init__(
+        self,
+        analyzer,
+        bus=None,
+        tracker: Optional[ReputationTracker] = None,
+        lock: Optional[threading.Lock] = None,
+    ) -> None:
+        self.analyzer = analyzer
+        self.bus = bus
+        self.tracker = tracker
+        self.lock = lock or threading.Lock()
+
+    def _require_vantage(self, vantage: str) -> None:
+        if vantage not in self.analyzer.events_per_vantage:
+            raise self._unknown_vantage(vantage)
+
+    def health(self, _query) -> dict:
+        with self.lock:
+            analyzer = self.analyzer
+            return {
+                "status": "ok",
+                "backend": self.mode,
+                "events": int(analyzer.events_consumed),
+                "chunks": int(analyzer.chunks_consumed),
+                "vantages": len(analyzer.events_per_vantage),
+                "watermark_hours": float(analyzer.windows.watermark),
+                "state_bytes": int(analyzer.state_bytes()),
+            }
+
+    def vantages(self, _query) -> dict:
+        with self.lock:
+            analyzer = self.analyzer
+            rows = []
+            for vantage_id, events in analyzer.events_per_vantage.most_common():
+                hll = analyzer.distinct_sources.get(vantage_id)
+                rows.append({
+                    "vantage": vantage_id,
+                    "events": int(events),
+                    "rate_per_hour": float(analyzer.windows.rate_per_hour(vantage_id)),
+                    "distinct_sources": float(hll.estimate()) if hll else 0.0,
+                    "spikes": int(analyzer.windows.spikes(vantage_id)),
+                })
+            return {"backend": self.mode, "vantages": rows}
+
+    def top(self, query: TopQuery) -> dict:
+        with self.lock:
+            self._require_vantage(query.vantage)
+            sketch = self.analyzer.contingency[query.characteristic.value].sketch(
+                query.vantage
+            )
+            categories = [
+                {
+                    "category": encode_category(category),
+                    "count": float(sketch.estimate(category)),
+                    "error": float(sketch.error(category)),
+                }
+                for category in sketch.top(query.k)
+            ]
+            return {
+                "backend": self.mode,
+                "vantage": query.vantage,
+                "characteristic": query.characteristic.value,
+                "k": query.k,
+                "exact": False,
+                "error_bound": float(sketch.error_bound) if sketch.total else 0.0,
+                "categories": categories,
+            }
+
+    def cardinality(self, query: CardinalityQuery) -> dict:
+        with self.lock:
+            analyzer = self.analyzer
+            if query.vantage is not None:
+                self._require_vantage(query.vantage)
+                wanted = [query.vantage]
+            else:
+                wanted = sorted(analyzer.events_per_vantage)
+            return {
+                "backend": self.mode,
+                "exact": False,
+                "distinct_sources": {
+                    vantage_id: float(
+                        analyzer.distinct_sources[vantage_id].estimate()
+                    ) if vantage_id in analyzer.distinct_sources else 0.0
+                    for vantage_id in wanted
+                },
+            }
+
+    def volumes(self, query: VolumesQuery) -> dict:
+        with self.lock:
+            self._require_vantage(query.vantage)
+            windows = self.analyzer.windows
+            return {
+                "backend": self.mode,
+                "vantage": query.vantage,
+                "hours": int(windows.hours),
+                "watermark_hours": float(windows.watermark),
+                "sealed_hours": int(windows.sealed_hours()),
+                "series": [float(v) for v in windows.series(query.vantage)],
+                "spikes": int(windows.spikes(query.vantage)),
+                "rate_per_hour": float(windows.rate_per_hour(query.vantage)),
+            }
+
+    def compare(self, query: CompareQuery) -> dict:
+        with self.lock:
+            result = self.analyzer.chi_square(query.characteristic.value, query.k)
+            return {
+                "backend": self.mode,
+                "characteristic": query.characteristic.value,
+                "k": query.k,
+                "exact": False,
+                "chi_square": _chi_square_json(result),
+            }
+
+    def classify(self, query: IpQuery) -> dict:
+        with self.lock:
+            if self.tracker is None:
+                raise SchemaError.single(
+                    "ip", "per-IP classification is not enabled on this server", None
+                )
+            answer = self.tracker.classify(query.ip)
+            return {"backend": self.mode, "ip": int_to_ip(query.ip), **answer}
+
+    def alarms(self, query: AlarmsQuery) -> dict:
+        with self.lock:
+            leak = self.analyzer.leak
+            rows = leak.evaluate(query.trailing_hours) if leak is not None else []
+            return {
+                "backend": self.mode,
+                "enabled": leak is not None,
+                "trailing_hours": query.trailing_hours,
+                "alarms": [_alarm_json(alarm) for alarm in rows],
+            }
+
+    def stats(self, _query) -> dict:
+        with self.lock:
+            payload = {
+                "backend": self.mode,
+                "events": int(self.analyzer.events_consumed),
+                "state_bytes": int(self.analyzer.state_bytes()),
+                "bus": self.bus.stats.as_dict() if self.bus is not None else None,
+            }
+            if self.bus is not None:
+                payload["bus"]["policy"] = self.bus.policy
+                payload["bus"]["max_buffered_events"] = self.bus.max_buffered_events
+            if self.tracker is not None:
+                payload["reputation"] = {
+                    "tracked_ips": len(self.tracker),
+                    "capacity": self.tracker.capacity,
+                    "evicted": self.tracker.evicted,
+                }
+            return payload
+
+
+class LockedConsumer:
+    """Deliver one chunk to several consumers under a shared lock.
+
+    The ingest thread publishes through this; the query side reads the
+    same sketch state under the same lock.  One acquisition covers the
+    whole fan-out, so every consumer sees each chunk atomically with
+    respect to queries.
+    """
+
+    def __init__(self, lock: threading.Lock, *consumers) -> None:
+        self.lock = lock
+        self.consumers = consumers
+
+    def consume(self, chunk) -> None:
+        with self.lock:
+            for consumer in self.consumers:
+                consumer.consume(chunk)
+
+
+def build_live_pipeline(
+    hours: int,
+    leak_experiment=None,
+    sketch_k: int = 64,
+    max_buffered_events: int = 65536,
+    policy: str = "backpressure",
+    tracker_capacity: int = 65536,
+):
+    """Wire bus → (analyzer, tracker) → LiveBackend for live serving.
+
+    Returns ``(bus, analyzer, tracker, backend)``.  The analyzer and
+    tracker consume under one shared lock; the returned backend answers
+    queries under the same lock, so an ingest thread can publish while
+    an asyncio server reads, with neither seeing torn state.
+    """
+    from repro.stream.analyzer import StreamAnalyzer
+    from repro.stream.bus import StreamBus
+
+    lock = threading.Lock()
+    bus = StreamBus(max_buffered_events=max_buffered_events, policy=policy)
+    analyzer = StreamAnalyzer(
+        hours=hours, sketch_k=sketch_k, leak_experiment=leak_experiment
+    )
+    tracker = ReputationTracker(capacity=tracker_capacity)
+    bus.subscribe(LockedConsumer(lock, analyzer, tracker))
+    backend = LiveBackend(analyzer, bus=bus, tracker=tracker, lock=lock)
+    return bus, analyzer, tracker, backend
+
+
+# ---------------------------------------------------------------------------
+# run-dir mode
+# ---------------------------------------------------------------------------
+
+
+def load_run_dir(run_dir: Union[str, Path]):
+    """Open a completed orchestrate output as (config, dataset, digest).
+
+    Reads ``run.json`` for the configuration and dataset digest,
+    deterministically rebuilds the deployment (vantage identities and
+    leak-experiment geometry — no event data comes from it), then maps
+    every completed shard's column banks into per-vantage
+    :class:`~repro.io.lazy.ShardedEventTable` views.  Nothing beyond the
+    shard directories' small NDJSON headers is read until an endpoint
+    touches a column.
+    """
+    from repro.analysis.dataset import AnalysisDataset
+    from repro.deployment.fleet import build_full_deployment
+    from repro.experiments.context import ExperimentConfig, _WINDOWS
+    from repro.io.lazy import ShardedEventTable
+    from repro.io.shards import load_shard_tables, read_manifest
+    from repro.sim.rng import RngHub
+
+    run_dir = Path(run_dir)
+    run_file = run_dir / "run.json"
+    if not run_file.exists():
+        raise FileNotFoundError(f"{run_file} not found (not an orchestrate output?)")
+    with open(run_file, "r", encoding="utf-8") as handle:
+        run_record = json.load(handle)
+    config = ExperimentConfig(**run_record.get("config", {}))
+    digest = run_record.get("dataset_digest", "")
+
+    deployment = build_full_deployment(
+        RngHub(config.seed), num_telescope_slash24s=config.telescope_slash24s
+    )
+    shard_tables = []
+    for shard_path in sorted(run_dir.glob("shard-*")):
+        if shard_path.is_dir() and read_manifest(shard_path) is not None:
+            shard_tables.append(load_shard_tables(shard_path))
+    if not shard_tables:
+        raise FileNotFoundError(f"no completed shards under {run_dir}")
+
+    tables = {}
+    for vantage in deployment.honeypots:
+        merged = ShardedEventTable.for_vantage(vantage)
+        for shard_pos, shard in enumerate(shard_tables):
+            part = shard.get(vantage.vantage_id)
+            if part is not None and len(part):
+                merged.add_part(shard_pos, part)
+        if merged.parts:
+            tables[vantage.vantage_id] = merged
+
+    dataset = AnalysisDataset(
+        tables=tables,
+        vantages=deployment.honeypots,
+        window=_WINDOWS[config.year],
+        leak_experiment=deployment.leak_experiment,
+        shard_tables=shard_tables,
+    )
+    return config, dataset, digest
+
+
+class RunDirBackend(ServeBackend):
+    """Exact batch answers over a completed orchestrate run directory.
+
+    Every response is computed from the memory-mapped shard columns with
+    the same primitives the batch analyses use (``top_k`` ordering,
+    ``hourly_volumes`` binning, ``union_table`` → ``chi_square_test``,
+    the reputation oracle), labeled ``"exact": true``.  Computed
+    aggregates are memoized per (vantage, characteristic); encoded
+    responses are additionally cached content-addressed on
+    ``(dataset_digest, path, params)`` by the HTTP layer, keyed through
+    :meth:`cache_key`.
+    """
+
+    mode = "run-dir"
+
+    def __init__(self, run_dir: Union[str, Path]) -> None:
+        self.run_dir = Path(run_dir)
+        self.config, self.dataset, self.dataset_digest = load_run_dir(run_dir)
+        self.hours = int(self.dataset.window.hours)
+        self._counters: dict[tuple[str, str], Counter] = {}
+        self._leak_alarm = None
+        self._lock = threading.Lock()
+
+    # -- shared aggregates (memoized) ----------------------------------
+
+    def _require_vantage(self, vantage: str) -> None:
+        if vantage not in self.dataset.tables:
+            raise self._unknown_vantage(vantage)
+
+    def _counter(self, vantage: str, characteristic: Characteristic) -> Counter:
+        """Exact per-vantage category counts off the mapped columns."""
+        from repro.scanners.payloads import strip_ephemeral_headers
+
+        key = (vantage, characteristic.value)
+        cached = self._counters.get(key)
+        if cached is not None:
+            return cached
+        table = self.dataset.tables[vantage]
+        counts: Counter = Counter()
+        if characteristic is Characteristic.AS:
+            values, occurrences = np.unique(table.src_asn, return_counts=True)
+            counts.update(dict(zip(
+                (int(v) for v in values), (int(c) for c in occurrences)
+            )))
+        elif characteristic is Characteristic.PAYLOAD:
+            for payload in table.payloads:
+                if payload:
+                    counts[strip_ephemeral_headers(payload)] += 1
+        else:
+            slot = 0 if characteristic is Characteristic.USERNAME else 1
+            for pairs in table.credentials:
+                for pair in pairs:
+                    counts[pair[slot]] += 1
+        self._counters[key] = counts
+        return counts
+
+    def _group_counts(self, characteristic: Characteristic) -> dict[str, Counter]:
+        return {
+            vantage_id: self._counter(vantage_id, characteristic)
+            for vantage_id in sorted(self.dataset.tables)
+        }
+
+    def _leak(self):
+        from repro.stream.windows import StreamingLeakAlarm
+
+        if self._leak_alarm is None and self.dataset.leak_experiment is not None:
+            alarm = StreamingLeakAlarm(self.dataset.leak_experiment, self.hours)
+            for vantage_id in sorted(self.dataset.tables):
+                table = self.dataset.tables[vantage_id]
+                alarm.observe(table.dst_ip, table.dst_port,
+                              table.src_asn, table.timestamps)
+                alarm.windows.watermark = max(
+                    alarm.windows.watermark,
+                    float(table.timestamps.max()) if len(table) else 0.0,
+                )
+            self._leak_alarm = alarm
+        return self._leak_alarm
+
+    # -- endpoints ------------------------------------------------------
+
+    def cache_key(self, path: str, params: Mapping[str, str]) -> Optional[str]:
+        if path not in ROUTES:
+            return None
+        canonical = "&".join(f"{k}={params[k]}" for k in sorted(params))
+        content = f"{self.dataset_digest}|{path}|{canonical}"
+        return hashlib.sha256(content.encode("utf-8")).hexdigest()
+
+    def health(self, _query) -> dict:
+        with self._lock:
+            return {
+                "status": "ok",
+                "backend": self.mode,
+                "run_dir": str(self.run_dir),
+                "dataset_digest": self.dataset_digest,
+                "events": int(sum(len(t) for t in self.dataset.tables.values())),
+                "vantages": len(self.dataset.tables),
+                "config": {
+                    "year": self.config.year,
+                    "scale": self.config.scale,
+                    "telescope_slash24s": self.config.telescope_slash24s,
+                    "seed": self.config.seed,
+                },
+            }
+
+    def vantages(self, _query) -> dict:
+        with self._lock:
+            from repro.stats.volume import count_spikes, hourly_volumes
+
+            rows = []
+            ordered = sorted(
+                self.dataset.tables.items(), key=lambda item: (-len(item[1]), item[0])
+            )
+            for vantage_id, table in ordered:
+                series = hourly_volumes(table.timestamps, self.hours)
+                rows.append({
+                    "vantage": vantage_id,
+                    "events": int(len(table)),
+                    "rate_per_hour": float(series.mean()) if series.size else 0.0,
+                    "distinct_sources": float(len(np.unique(table.src_ip))),
+                    "spikes": int(count_spikes(series)),
+                })
+            return {"backend": self.mode, "vantages": rows}
+
+    def top(self, query: TopQuery) -> dict:
+        with self._lock:
+            from repro.stats.topk import top_k
+
+            self._require_vantage(query.vantage)
+            counts = self._counter(query.vantage, query.characteristic)
+            return {
+                "backend": self.mode,
+                "vantage": query.vantage,
+                "characteristic": query.characteristic.value,
+                "k": query.k,
+                "exact": True,
+                "error_bound": 0.0,
+                "categories": [
+                    {
+                        "category": encode_category(category),
+                        "count": float(counts[category]),
+                        "error": 0.0,
+                    }
+                    for category in top_k(counts, query.k)
+                ],
+            }
+
+    def cardinality(self, query: CardinalityQuery) -> dict:
+        with self._lock:
+            if query.vantage is not None:
+                self._require_vantage(query.vantage)
+                wanted = [query.vantage]
+            else:
+                wanted = sorted(self.dataset.tables)
+            return {
+                "backend": self.mode,
+                "exact": True,
+                "distinct_sources": {
+                    vantage_id: float(
+                        len(np.unique(self.dataset.tables[vantage_id].src_ip))
+                    )
+                    for vantage_id in wanted
+                },
+            }
+
+    def volumes(self, query: VolumesQuery) -> dict:
+        with self._lock:
+            from repro.stats.volume import count_spikes, hourly_volumes
+
+            self._require_vantage(query.vantage)
+            table = self.dataset.tables[query.vantage]
+            series = hourly_volumes(table.timestamps, self.hours)
+            watermark = float(table.timestamps.max()) if len(table) else 0.0
+            return {
+                "backend": self.mode,
+                "vantage": query.vantage,
+                "hours": self.hours,
+                "watermark_hours": watermark,
+                "sealed_hours": min(int(watermark), self.hours),
+                "series": [float(v) for v in series],
+                "spikes": int(count_spikes(series)),
+                "rate_per_hour": float(series.mean()) if series.size else 0.0,
+            }
+
+    def compare(self, query: CompareQuery) -> dict:
+        with self._lock:
+            from repro.stats.contingency import chi_square_test
+            from repro.stats.topk import union_table
+
+            table, _groups, _categories = union_table(
+                self._group_counts(query.characteristic), query.k
+            )
+            return {
+                "backend": self.mode,
+                "characteristic": query.characteristic.value,
+                "k": query.k,
+                "exact": True,
+                "chi_square": _chi_square_json(chi_square_test(table)),
+            }
+
+    def classify(self, query: IpQuery) -> dict:
+        with self._lock:
+            oracle = self.dataset.reputation_oracle()
+            seen_asn = oracle._seen_ips.get(query.ip)
+            events = int(sum(
+                int(np.count_nonzero(table.src_ip == np.uint32(query.ip)))
+                for table in self.dataset.tables.values()
+            )) if seen_asn is not None else 0
+            return {
+                "backend": self.mode,
+                "ip": int_to_ip(query.ip),
+                "seen": seen_asn is not None,
+                "reputation": oracle.reputation(query.ip).value,
+                "events": events,
+                "asn": int(seen_asn) if seen_asn is not None else None,
+            }
+
+    def alarms(self, query: AlarmsQuery) -> dict:
+        with self._lock:
+            leak = self._leak()
+            rows = leak.evaluate(query.trailing_hours) if leak is not None else []
+            return {
+                "backend": self.mode,
+                "enabled": leak is not None,
+                "trailing_hours": query.trailing_hours,
+                "alarms": [_alarm_json(alarm) for alarm in rows],
+            }
+
+    def stats(self, _query) -> dict:
+        with self._lock:
+            return {
+                "backend": self.mode,
+                "dataset_digest": self.dataset_digest,
+                "events": int(sum(len(t) for t in self.dataset.tables.values())),
+                "bus": None,
+                "memoized_counters": len(self._counters),
+            }

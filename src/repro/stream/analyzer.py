@@ -103,7 +103,8 @@ class StreamSnapshot:
             lines.append(
                 f"bus: {stats.published_events:,} published, "
                 f"{stats.delivered_events:,} delivered, "
-                f"{stats.dropped_events:,} dropped, "
+                f"{stats.dropped_events:,} dropped "
+                f"({stats.dropped_chunks:,} chunk(s) rejected), "
                 f"{stats.backpressure_flushes} backpressure flush(es), "
                 f"high water {stats.queue_high_water:,} events"
             )

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import time
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional, Union
@@ -33,6 +34,12 @@ from repro.stream.bus import StreamBus, StreamChunk
 
 __all__ = ["WatchOptions", "SnapshotPrinter", "watch_simulation",
            "watch_run_dir", "watch_live", "stream_table"]
+
+#: Times a manifest-bearing but unreadable shard is retried before the
+#: follow loop abandons it (each retry backs off exponentially).
+_MAX_SHARD_ATTEMPTS = 6
+#: Ceiling on the per-shard retry backoff (seconds).
+_MAX_SHARD_BACKOFF = 5.0
 
 
 @dataclass
@@ -229,19 +236,61 @@ def watch_run_dir(
     )
 
     processed: set[str] = set()
+    abandoned: set[str] = set()
+    attempts: dict[str, int] = {}
+    retry_at: dict[str, float] = {}
     started = time.perf_counter()
     deadline = started + max(0.0, follow_seconds)
+
+    def _resolve_shard(shard_path: Path) -> dict:
+        """Load a shard and force every streamed column to resolve.
+
+        A shard copied or crashed mid-write can carry a manifest while
+        its column banks are truncated; resolving everything up front
+        makes such a shard fail *here*, before a single chunk has been
+        published, so a retry never double-streams rows.
+        """
+        tables = load_shard_tables(shard_path)
+        for table in tables.values():
+            _ = (table.timestamps, table.src_ip, table.src_asn, table.dst_ip,
+                 table.dst_port, table.transport_code, table.handshake,
+                 table.payloads, table.credentials, table.commands)
+        return tables
 
     def _sweep() -> int:
         streamed = 0
         for shard_path in sorted(run_dir.glob("shard-*")):
-            if shard_path.name in processed or not shard_path.is_dir():
+            name = shard_path.name
+            if name in processed or name in abandoned or not shard_path.is_dir():
                 continue
+            if time.perf_counter() < retry_at.get(name, 0.0):
+                continue  # backing off a previously unreadable shard
             if read_manifest(shard_path) is None:
                 continue  # still being written
-            processed.add(shard_path.name)
-            tables = load_shard_tables(shard_path)
-            say(f"streaming {shard_path.name} "
+            try:
+                tables = _resolve_shard(shard_path)
+            except (OSError, ValueError, KeyError, EOFError,
+                    zipfile.BadZipFile) as error:
+                # Manifest present but banks unreadable: the shard is
+                # in flight (or damaged).  Retry with bounded backoff;
+                # give up on it — without raising — after enough tries.
+                count = attempts.get(name, 0) + 1
+                attempts[name] = count
+                if count >= _MAX_SHARD_ATTEMPTS:
+                    abandoned.add(name)
+                    say(f"abandoning {name}: unreadable after "
+                        f"{count} attempt(s) ({error})")
+                else:
+                    backoff = min(
+                        max(poll_seconds, 0.05) * (2 ** (count - 1)),
+                        _MAX_SHARD_BACKOFF,
+                    )
+                    retry_at[name] = time.perf_counter() + backoff
+                    say(f"{name} not readable yet ({error}); "
+                        f"retrying in {backoff:.2f}s")
+                continue
+            processed.add(name)
+            say(f"streaming {name} "
                 f"({sum(len(t) for t in tables.values()):,} events)")
             for vantage_id in sorted(tables):
                 streamed += stream_table(bus, tables[vantage_id], options.chunk_events)

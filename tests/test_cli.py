@@ -52,17 +52,17 @@ class TestSimulate:
         assert len(events) > 100
 
 
-class TestServe:
+class TestHoneypots:
     def test_rejects_unknown_service(self, capsys):
-        assert main(["serve", "--port", "9999=gopher", "--duration", "0.1"]) == 2
+        assert main(["honeypots", "--port", "9999=gopher", "--duration", "0.1"]) == 2
         assert "unknown service" in capsys.readouterr().err
 
     def test_serves_and_captures(self, capsys):
-        """Start serve in a thread, poke the honeypot, check the report."""
+        """Start honeypots in a thread, poke one, check the report."""
         results = {}
 
         def _serve():
-            results["code"] = main(["serve", "--port", "0=http", "--duration", "1.5"])
+            results["code"] = main(["honeypots", "--port", "0=http", "--duration", "1.5"])
 
         thread = threading.Thread(target=_serve)
         thread.start()

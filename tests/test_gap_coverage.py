@@ -70,7 +70,7 @@ class TestUdpEngineEnd2End:
         assert "sip" in fingerprints
 
 
-class TestCliServeVariants:
+class TestCliHoneypotVariants:
     def test_ssh_and_raw_services(self, capsys):
         import asyncio
         import threading
@@ -84,7 +84,7 @@ class TestCliServeVariants:
             # note: negative ephemeral keys need --port=KEY=SERVICE syntax so
             # argparse does not read "-1=raw" as an option
             results["code"] = main([
-                "serve", "--port", "0=ssh", "--port=-1=raw", "--duration", "1.2",
+                "honeypots", "--port", "0=ssh", "--port=-1=raw", "--duration", "1.2",
             ])
 
         thread = threading.Thread(target=_serve)

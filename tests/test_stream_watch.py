@@ -6,6 +6,9 @@ the CLI surface.
 from __future__ import annotations
 
 import json
+import shutil
+import threading
+import time
 
 import pytest
 
@@ -75,6 +78,67 @@ class TestWatchRunDir:
         (tmp_path / "shard-0000").mkdir()  # no manifest: still in flight
         with pytest.raises(FileNotFoundError):
             watch_run_dir(tmp_path)
+
+
+class TestWatchFollowTolerance:
+    """Follow mode against shards that are not (yet) fully written."""
+
+    @pytest.fixture(scope="class")
+    def pristine_run(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("follow") / "run"
+        run = orchestrate(TINY, workers=1, out_dir=out, num_shards=2, quiet=True)
+        assert not run.partial
+        return out, run.context.result.total_events()
+
+    @staticmethod
+    def _copy_with_truncated_shard(pristine, dest):
+        """A run dir whose second shard has a manifest but torn banks."""
+        shutil.copytree(pristine, dest)
+        bank = dest / "shard-0001" / "columns.npz"
+        bank.write_bytes(bank.read_bytes()[:200])
+        return bank
+
+    def test_in_flight_shard_is_retried_until_readable(self, pristine_run, tmp_path):
+        pristine, total = pristine_run
+        dest = tmp_path / "run"
+        bank = self._copy_with_truncated_shard(pristine, dest)
+        whole = (pristine / "shard-0001" / "columns.npz").read_bytes()
+
+        def _repair():
+            time.sleep(0.6)
+            bank.write_bytes(whole)
+
+        repair = threading.Thread(target=_repair)
+        repair.start()
+        said: list[str] = []
+        try:
+            summary = watch_run_dir(
+                dest, options=WatchOptions(snapshot_events=0), say=said.append,
+                follow_seconds=5.0, poll_seconds=0.1,
+            )
+        finally:
+            repair.join()
+        assert summary["shards"] == 2
+        assert summary["events"] == total
+        assert summary["bus"]["dropped_events"] == 0
+        assert any("not readable yet" in line for line in said)
+        assert not any("abandoning" in line for line in said)
+
+    def test_permanently_damaged_shard_is_abandoned_not_fatal(
+        self, pristine_run, tmp_path
+    ):
+        pristine, total = pristine_run
+        dest = tmp_path / "run"
+        self._copy_with_truncated_shard(pristine, dest)
+        said: list[str] = []
+        summary = watch_run_dir(
+            dest, options=WatchOptions(snapshot_events=0), say=said.append,
+            follow_seconds=4.0, poll_seconds=0.05,
+        )
+        assert summary["shards"] == 1
+        assert 0 < summary["events"] < total
+        assert any("abandoning shard-0001" in line for line in said)
+        assert any("not readable yet" in line for line in said)
 
 
 class TestResolveWorkers:
