@@ -35,9 +35,9 @@ def main() -> None:
           f"{deployment.telescope.num_ips} telescope IPs, "
           f"{len(population)} scanning campaigns")
 
-    started = time.time()
+    started = time.perf_counter()
     result = run_simulation(deployment, population, SimulationConfig(seed=7))
-    print(f"simulated one week in {time.time() - started:.1f}s "
+    print(f"simulated one week in {time.perf_counter() - started:.1f}s "
           f"({result.total_events():,} honeypot events)\n")
 
     dataset = AnalysisDataset.from_simulation(result)

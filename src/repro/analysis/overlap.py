@@ -174,13 +174,12 @@ def scanner_overlap_with_ci(
     Returns ``[(OverlapRow, cloud_ci, edu_ci), ...]`` where the intervals
     resample the observed scanner IPs (see :mod:`repro.stats.bootstrap`).
     """
-    import numpy as np
-
+    from repro.sim.rng import analysis_rng
     from repro.stats.bootstrap import overlap_ci
 
     if dataset.telescope is None:
         raise ValueError("dataset has no telescope capture")
-    rng = np.random.default_rng(7)
+    rng = analysis_rng("table8-overlap-ci")
     rows = scanner_overlap(dataset, ports)
     enriched = []
     for row in rows:

@@ -13,6 +13,7 @@ Subcommands::
     cloudwatching watch --live --port 2323=telnet   # stream a live fleet
     cloudwatching serve --run-dir runs/full         # query API over a run
     cloudwatching serve --simulate --scale 0.1      # query API over live sketches
+    cloudwatching lint src --format json            # invariant checker
 """
 
 from __future__ import annotations
@@ -202,6 +203,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="simulate source: Space-Saving capacity (default 64)")
     serve.add_argument("--queue-events", type=int, default=65536,
                        help="simulate source: bus buffer bound in events (default 65536)")
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="AST-based invariant checker: RNG/determinism/lock/columnar/"
+             "exception disciplines (exit 1 on non-baselined findings)",
+    )
+    from repro.lint.cli import add_arguments as _add_lint_arguments
+
+    _add_lint_arguments(lint)
     return parser
 
 
@@ -284,11 +294,12 @@ def _command_run(args: argparse.Namespace) -> int:
         if config is None:
             return 2
         context = get_context(config)
-        started = time.time()
+        started = time.perf_counter()
         output = ALL_EXPERIMENTS[experiment_id](context)
         outputs.append(output)
         print(output.render())
-        print(f"[{experiment_id} completed in {time.time() - started:.1f}s]\n")
+        print(f"[{experiment_id} completed in "
+              f"{time.perf_counter() - started:.1f}s]\n")
     if getattr(args, "output", None):
         from repro.reporting.markdown import write_markdown_report
 
@@ -595,6 +606,10 @@ def main(argv: list[str] | None = None) -> int:
         return _command_honeypots(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "lint":
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(args)
     raise AssertionError("unreachable")
 
 

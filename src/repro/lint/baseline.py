@@ -1,0 +1,83 @@
+"""The checked-in baseline: grandfathered findings that do not fail CI.
+
+A baseline entry is the line-number-free identity of one finding —
+``(path, code, snippet)`` — so it stays pinned through unrelated edits.
+Each entry absorbs exactly one matching finding: duplicating a
+grandfathered pattern on a new line is a *new* violation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.lint.findings import Finding
+
+__all__ = ["BASELINE_VERSION", "load_baseline", "write_baseline", "apply_baseline"]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Union[str, Path]) -> list[dict]:
+    """Read baseline entries; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} in {path}"
+        )
+    entries = payload.get("findings", [])
+    for entry in entries:
+        missing = {"code", "path", "snippet"} - set(entry)
+        if missing:
+            raise ValueError(f"baseline entry missing {sorted(missing)}: {entry}")
+    return entries
+
+
+def write_baseline(path: Union[str, Path], findings: Sequence[Finding]) -> int:
+    """Write ``findings`` as the new baseline; returns the entry count."""
+    entries = [
+        {"code": f.code, "path": f.path, "snippet": f.snippet}
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.code))
+    ]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"version": BASELINE_VERSION, "findings": entries}, handle, indent=2)
+        handle.write("\n")
+    return len(entries)
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Optional[Sequence[dict]]
+) -> tuple[list[Finding], list[Finding], list[dict]]:
+    """Split findings into (active, baselined); also return unused entries.
+
+    Unused entries signal stale grandfathering — the violation was fixed
+    but the baseline still carries it — which the CLI reports so the
+    baseline can only shrink over time.
+    """
+    if not entries:
+        return list(findings), [], []
+    budget: dict[tuple[str, str, str], int] = {}
+    for entry in entries:
+        key = (entry["path"], entry["code"], entry["snippet"])
+        budget[key] = budget.get(key, 0) + 1
+    active: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        key = finding.key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            baselined.append(finding)
+        else:
+            active.append(finding)
+    unused = [
+        {"path": path, "code": code, "snippet": snippet}
+        for (path, code, snippet), count in sorted(budget.items())
+        for _ in range(count)
+        if count > 0
+    ]
+    return active, baselined, unused

@@ -1,0 +1,138 @@
+"""The ``cloudwatching lint`` subcommand.
+
+Exit-code contract (what CI keys on):
+
+* ``0`` — no active findings (baselined and suppressed don't count).
+* ``1`` — at least one active finding, or a stale baseline entry.
+* ``2`` — usage error (missing target, unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.lint.baseline import load_baseline, write_baseline
+from repro.lint.engine import LintReport, run_lint
+from repro.lint.findings import all_rules
+
+__all__ = ["main", "default_targets", "rule_catalog"]
+
+#: Default baseline filename, resolved next to the lint target.
+BASELINE_NAME = "lint-baseline.json"
+
+
+def default_targets() -> list[Path]:
+    """What to lint when no paths are given: ``src/`` in a repo checkout,
+    otherwise the installed ``repro`` package directory."""
+    src = Path("src")
+    if src.is_dir():
+        return [src]
+    import repro
+
+    return [Path(repro.__file__).parent]
+
+
+def _default_baseline(targets: Sequence[Path]) -> Optional[Path]:
+    """``lint-baseline.json`` beside the first target (repo root when
+    linting ``src/``), or in the working directory."""
+    candidates = [targets[0].resolve().parent / BASELINE_NAME, Path(BASELINE_NAME)]
+    for candidate in candidates:
+        if candidate.exists():
+            return candidate
+    return None
+
+
+def rule_catalog() -> list[dict]:
+    """Every registered rule's metadata, sorted by code (``--rules``)."""
+    return [rule.describe() for _, rule in sorted(all_rules().items())]
+
+
+def _render_text(report: LintReport, baseline_path: Optional[Path]) -> str:
+    lines = [finding.render() for finding in report.findings]
+    for entry in report.unused_baseline:
+        lines.append(
+            f"{entry['path']}: stale baseline entry for {entry['code']} "
+            f"({entry['snippet'][:60]!r}) — remove it from the baseline"
+        )
+    summary = ", ".join(
+        f"{code}×{count}" for code, count in report.summary().items()
+    ) or "clean"
+    lines.append(
+        f"{len(report.findings)} finding(s) [{summary}] — "
+        f"{len(report.baselined)} baselined, {report.suppressed} suppressed, "
+        f"{report.files_scanned} file(s) scanned"
+        + (f", baseline {baseline_path}" if baseline_path else "")
+    )
+    return "\n".join(lines)
+
+
+def main(args) -> int:
+    """Run the pass for parsed ``cloudwatching lint`` arguments."""
+    if args.rules:
+        if args.format == "json":
+            print(json.dumps({"version": 1, "rules": rule_catalog()}, indent=2))
+        else:
+            for rule in rule_catalog():
+                print(f"{rule['code']}  {rule['name']}\n"
+                      f"    invariant: {rule['invariant']}\n"
+                      f"    dynamic check: {rule['dynamic_check']}")
+        return 0
+
+    targets = [Path(path) for path in args.paths] or default_targets()
+    for target in targets:
+        if not target.exists():
+            print(f"error: lint target {target} does not exist", file=sys.stderr)
+            return 2
+
+    baseline_path: Optional[Path]
+    if args.no_baseline:
+        baseline_path = None
+    elif args.baseline is not None:
+        baseline_path = Path(args.baseline)
+    else:
+        baseline_path = _default_baseline(targets)
+
+    if args.update_baseline:
+        report = run_lint(targets, baseline_entries=None)
+        out = baseline_path or (targets[0].resolve().parent / BASELINE_NAME)
+        count = write_baseline(out, report.findings)
+        print(f"baseline updated: {count} finding(s) written to {out}")
+        return 0
+
+    entries = None
+    if baseline_path is not None:
+        try:
+            entries = load_baseline(baseline_path)
+        except (ValueError, json.JSONDecodeError) as error:
+            print(f"error: unreadable baseline {baseline_path}: {error}",
+                  file=sys.stderr)
+            return 2
+
+    report = run_lint(targets, baseline_entries=entries)
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(_render_text(report, baseline_path))
+    return 0 if report.clean and not report.unused_baseline else 1
+
+
+def add_arguments(parser) -> None:
+    """Attach the subcommand's arguments to an argparse parser."""
+    parser.add_argument("paths", nargs="*", metavar="PATH",
+                        help="directories (or files) to lint "
+                             "(default: src/ or the installed package)")
+    parser.add_argument("--format", default="text", choices=("text", "json"),
+                        help="output format (default text)")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help=f"baseline file (default: {BASELINE_NAME} "
+                             "beside the first target, if present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write the current findings as the new "
+                             "baseline and exit 0")
+    parser.add_argument("--rules", action="store_true",
+                        help="print the invariant catalog instead of linting")

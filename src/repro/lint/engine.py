@@ -1,0 +1,216 @@
+"""The lint pass: walk a source root, parse, run rules, apply baseline.
+
+The engine is deliberately boring: rules do the project-specific work
+(:mod:`repro.lint.rules_rng` and friends); the engine owns file
+discovery (sorted, so the report order is deterministic), suppression
+comments, the AST parent map rules use for lexical-scope questions, and
+the baseline split.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.lint.baseline import apply_baseline
+from repro.lint.findings import Finding, all_rules
+
+__all__ = ["ModuleFile", "LintReport", "run_lint", "lint_module"]
+
+#: ``# lint: disable=CODE1,CODE2`` (anything after the codes is a reason).
+_SUPPRESS = re.compile(r"#\s*lint:\s*disable=([A-Z0-9_,\s]+)")
+
+#: Finding code reserved for files the parser rejects.
+SYNTAX_ERROR_CODE = "ERR001"
+
+
+@dataclass
+class ModuleFile:
+    """One parsed source file plus the lookups rules need."""
+
+    path: str  #: posix path relative to the linted root
+    source: str
+    tree: ast.Module
+    lines: list[str]
+    #: child node -> parent node, for lexical-ancestry questions.
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+    #: line number -> codes suppressed on that line.
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, file_path: Path, rel_path: str) -> "ModuleFile":
+        with tokenize.open(file_path) as handle:  # honors coding cookies
+            source = handle.read()
+        tree = ast.parse(source, filename=rel_path)
+        module = cls(
+            path=rel_path,
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+        )
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                module.parents[child] = parent
+        for number, line in enumerate(module.lines, start=1):
+            match = _SUPPRESS.search(line)
+            if match:
+                codes = {
+                    code.strip()
+                    for code in match.group(1).split(",")
+                    if code.strip()
+                }
+                module.suppressions[number] = codes
+        return module
+
+    # -- path scoping ---------------------------------------------------
+
+    def matches(self, *suffixes: str) -> bool:
+        """True when this file *is* one of the given repo-relative paths.
+
+        Suffix matching keeps the scope stable whether the lint root is
+        ``src/`` (``repro/sim/rng.py``) or the repository root
+        (``src/repro/sim/rng.py``).
+        """
+        return any(
+            self.path == suffix or self.path.endswith("/" + suffix)
+            for suffix in suffixes
+        )
+
+    def in_dir(self, *prefixes: str) -> bool:
+        """True when this file lives under one of the given directories
+        (prefixes end with ``/``, e.g. ``"repro/stream/"``)."""
+        padded = "/" + self.path
+        return any("/" + prefix in padded for prefix in prefixes)
+
+    # -- finding helpers ------------------------------------------------
+
+    def snippet(self, node: ast.AST) -> str:
+        line = getattr(node, "lineno", 0)
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, code: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            code=code,
+            path=self.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            snippet=self.snippet(node),
+        )
+
+    def ancestors(self, node: ast.AST) -> Iterable[ast.AST]:
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self.parents.get(node)
+
+    def suppressed(self, finding: Finding) -> bool:
+        codes = self.suppressions.get(finding.line)
+        return bool(codes) and finding.code in codes
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint pass."""
+
+    findings: list[Finding] = field(default_factory=list)  #: active (fail CI)
+    baselined: list[Finding] = field(default_factory=list)
+    unused_baseline: list[dict] = field(default_factory=list)
+    suppressed: int = 0
+    files_scanned: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def summary(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def as_dict(self) -> dict:
+        return {
+            "version": 1,
+            "files_scanned": self.files_scanned,
+            "suppressed": self.suppressed,
+            "findings": [f.as_dict() for f in self.findings],
+            "baselined": [f.as_dict() for f in self.baselined],
+            "unused_baseline": list(self.unused_baseline),
+            "summary": self.summary(),
+        }
+
+
+def lint_module(module: ModuleFile) -> tuple[list[Finding], int]:
+    """Run every registered rule over one module.
+
+    Returns (unsuppressed findings, suppressed count).
+    """
+    raw: list[Finding] = []
+    for rule in all_rules().values():
+        raw.extend(rule.check(module))
+    raw.sort(key=lambda f: (f.line, f.col, f.code))
+    kept = [f for f in raw if not module.suppressed(f)]
+    return kept, len(raw) - len(kept)
+
+
+def _discover(root: Path) -> list[tuple[Path, str]]:
+    if root.is_file():
+        return [(root, root.name)]
+    return [
+        (path, path.relative_to(root).as_posix())
+        for path in sorted(root.rglob("*.py"))
+        if "__pycache__" not in path.parts
+    ]
+
+
+def run_lint(
+    roots: Union[Path, str, Sequence[Union[Path, str]]],
+    baseline_entries: Optional[Sequence[dict]] = None,
+) -> LintReport:
+    """Lint every ``*.py`` under ``roots`` and apply the baseline.
+
+    ``roots`` is typically the project's ``src`` directory, so finding
+    paths read ``repro/...`` and match the scope constants rules use.
+    A file that fails to parse contributes one ``ERR001`` finding (the
+    syntax gate) instead of aborting the pass.
+    """
+    if isinstance(roots, (str, Path)):
+        roots = [roots]
+    report = LintReport()
+    collected: list[Finding] = []
+    for root in roots:
+        root = Path(root)
+        if not root.exists():
+            raise FileNotFoundError(f"lint target {root} does not exist")
+        for file_path, rel_path in _discover(root):
+            report.files_scanned += 1
+            try:
+                module = ModuleFile.parse(file_path, rel_path)
+            except SyntaxError as error:
+                collected.append(Finding(
+                    code=SYNTAX_ERROR_CODE,
+                    path=rel_path,
+                    line=error.lineno or 0,
+                    col=error.offset or 0,
+                    message=f"syntax error: {error.msg}",
+                    snippet=(error.text or "").strip(),
+                ))
+                continue
+            findings, suppressed = lint_module(module)
+            collected.extend(findings)
+            report.suppressed += suppressed
+    active, baselined, unused = apply_baseline(collected, baseline_entries)
+    report.findings = active
+    report.baselined = baselined
+    report.unused_baseline = unused
+    return report

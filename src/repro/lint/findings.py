@@ -1,0 +1,103 @@
+"""Finding and rule primitives for the :mod:`repro.lint` framework.
+
+A *rule* inspects one parsed module and yields *findings*.  Every rule
+carries a stable code (``RNG003``), the invariant it protects, and a
+pointer to the dynamic test that would catch the violation the slow
+way — the linter exists so that test never has to fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.lint.engine import ModuleFile
+
+__all__ = ["Finding", "Rule", "RULES", "register", "all_rules"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    path: str  #: posix path relative to the linted root
+    line: int
+    col: int
+    message: str
+    snippet: str  #: stripped source of the flagged line (the baseline key)
+
+    def key(self) -> tuple[str, str, str]:
+        """Line-number-free identity used for baseline matching.
+
+        Keying on (path, code, line text) instead of the line *number*
+        keeps grandfathered findings pinned through unrelated edits that
+        shift the file.
+        """
+        return (self.path, self.code, self.snippet)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+#: code -> rule instance; populated by the :func:`register` decorator.
+RULES: dict[str, "Rule"] = {}
+
+
+class Rule:
+    """One invariant check.  Subclasses set the metadata and ``check``."""
+
+    #: Stable finding code, e.g. ``"RNG003"``.
+    code: str = ""
+    #: Short human name.
+    name: str = ""
+    #: The repo invariant this rule protects (one sentence).
+    invariant: str = ""
+    #: The dynamic test that would catch a violation without the linter.
+    dynamic_check: str = ""
+
+    def check(self, module: "ModuleFile") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        return {
+            "code": self.code,
+            "name": self.name,
+            "invariant": self.invariant,
+            "dynamic_check": self.dynamic_check,
+        }
+
+
+def register(cls: type) -> type:
+    """Class decorator: instantiate and add the rule to :data:`RULES`."""
+    rule = cls()
+    if not rule.code:
+        raise ValueError(f"{cls.__name__} has no code")
+    if rule.code in RULES:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    RULES[rule.code] = rule
+    return cls
+
+
+def all_rules() -> dict[str, Rule]:
+    """Every registered rule, importing the rule modules on first use."""
+    from repro.lint import (  # noqa: F401 - imported for their side effects
+        rules_columnar,
+        rules_determinism,
+        rules_exceptions,
+        rules_lock,
+        rules_rng,
+    )
+
+    return dict(RULES)

@@ -1,0 +1,26 @@
+"""Runtime markers the lock-discipline rule (LCK001) understands.
+
+These are ordinary decorators with no behavior of their own; they exist
+so the *static* contract — "every caller of this function already holds
+the ingest lock" — is written where the linter (and a human) can see it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+__all__ = ["requires_ingest_lock"]
+
+_F = TypeVar("_F", bound=Callable)
+
+
+def requires_ingest_lock(func: _F) -> _F:
+    """Mark a function whose callers must already hold the ingest lock.
+
+    The LCK001 rule exempts decorated functions from the lexical
+    ``with <lock>:`` requirement; in exchange, every call site is
+    expected to sit inside a locked region itself (endpoint methods do,
+    and the serve tests exercise them concurrently).
+    """
+    func.__requires_ingest_lock__ = True
+    return func

@@ -1,0 +1,77 @@
+"""Exception-hygiene rules (EXC001-EXC002).
+
+The orchestrator's retry loop, the watch follow loop, and the serve
+wire all *intentionally* catch and continue — that is their job.  The
+discipline is that every swallowed exception leaves a trace: a retry
+counter, a drop/abandon accounting line, a recorded 5xx.  A silent
+``pass`` in those paths converts partial-coverage incidents into
+results that look complete.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding, Rule, register
+
+#: Worker/retry/watch/serve paths where silent handlers hide incidents.
+_ACCOUNTED_DIRS = ("repro/runner/", "repro/stream/", "repro/serve/")
+
+
+def _is_silent(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing observable."""
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or `...`
+        return False
+    return True
+
+
+@register
+class BareExceptRule(Rule):
+    code = "EXC001"
+    name = "no bare except"
+    invariant = (
+        "Handlers name the exceptions they expect; a bare `except:` also "
+        "catches KeyboardInterrupt/SystemExit and masks programming "
+        "errors as recoverable conditions."
+    )
+    dynamic_check = "tests/test_orchestrator.py retry/partial-coverage tests"
+
+    def check(self, module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield module.finding(
+                    self.code, node,
+                    "bare `except:` — name the exception types this "
+                    "path expects to survive",
+                )
+
+
+@register
+class SilentHandlerRule(Rule):
+    code = "EXC002"
+    name = "swallowed exceptions are accounted"
+    invariant = (
+        "In worker/retry/watch/serve paths, every caught-and-dropped "
+        "exception increments a counter or emits an accounting line, so "
+        "degraded coverage is visible in run stats."
+    )
+    dynamic_check = (
+        "tests/test_stream_watch.py abandon/retry accounting and "
+        "tests/test_serve.py stats assertions"
+    )
+
+    def check(self, module) -> Iterator[Finding]:
+        if not module.in_dir(*_ACCOUNTED_DIRS):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and _is_silent(node):
+                yield module.finding(
+                    self.code, node,
+                    "silently swallowed exception in a worker/retry/"
+                    "watch path: count it, log it, or re-raise",
+                )

@@ -173,7 +173,7 @@ def _run_pending(
                     task = queue.pop(0)
                     try:
                         futures[pool.submit(run_shard, task)] = task
-                    except Exception:  # noqa: BLE001 - pool broke mid-round
+                    except RuntimeError:  # BrokenProcessPool / shut-down pool
                         # Unsubmitted work is not an attempt: requeue it
                         # for the rebuilt pool.  In-flight futures still
                         # resolve (as failures) below.

@@ -41,6 +41,7 @@ from typing import Mapping, Optional, Union
 
 import numpy as np
 
+from repro.lint.markers import requires_ingest_lock
 from repro.net.addresses import int_to_ip
 from repro.serve.schema import (
     AlarmsQuery,
@@ -293,6 +294,7 @@ class LiveBackend(ServeBackend):
         self.tracker = tracker
         self.lock = lock or threading.Lock()
 
+    @requires_ingest_lock
     def _require_vantage(self, vantage: str) -> None:
         if vantage not in self.analyzer.events_per_vantage:
             raise self._unknown_vantage(vantage)
@@ -569,10 +571,12 @@ class RunDirBackend(ServeBackend):
 
     # -- shared aggregates (memoized) ----------------------------------
 
+    @requires_ingest_lock
     def _require_vantage(self, vantage: str) -> None:
         if vantage not in self.dataset.tables:
             raise self._unknown_vantage(vantage)
 
+    @requires_ingest_lock
     def _counter(self, vantage: str, characteristic: Characteristic) -> Counter:
         """Exact per-vantage category counts off the mapped columns."""
         from repro.scanners.payloads import strip_ephemeral_headers
@@ -600,12 +604,14 @@ class RunDirBackend(ServeBackend):
         self._counters[key] = counts
         return counts
 
+    @requires_ingest_lock
     def _group_counts(self, characteristic: Characteristic) -> dict[str, Counter]:
         return {
             vantage_id: self._counter(vantage_id, characteristic)
             for vantage_id in sorted(self.dataset.tables)
         }
 
+    @requires_ingest_lock
     def _leak(self):
         from repro.stream.windows import StreamingLeakAlarm
 

@@ -89,6 +89,9 @@ class ServerStats:
     cache_misses: int = 0
     not_modified: int = 0
     active_connections: int = 0
+    #: Connections where the peer vanished mid-write/mid-request —
+    #: swallowed on the wire, but never silently (lint rule EXC002).
+    peer_disconnects: int = 0
 
     def record(self, status: int) -> None:
         self.requests_served += 1
@@ -105,11 +108,26 @@ class ServerStats:
             "cache_misses": self.cache_misses,
             "not_modified": self.not_modified,
             "active_connections": self.active_connections,
+            "peer_disconnects": self.peer_disconnects,
         }
 
 
 def _encode_json(payload: dict) -> bytes:
     return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+async def _close_quietly(writer: asyncio.StreamWriter) -> None:
+    """Close a transport, ignoring the peer having beaten us to it.
+
+    Teardown of an already-dead connection is the one place a dropped
+    exception carries no information — the close outcome is identical
+    either way — hence the single sanctioned EXC002 suppression.
+    """
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionResetError, BrokenPipeError):  # lint: disable=EXC002 - peer already gone
+        pass
 
 
 class QueryServer:
@@ -158,7 +176,7 @@ class QueryServer:
                 writer.close()
             try:
                 await asyncio.wait_for(self._idle.wait(), timeout=1.0)
-            except asyncio.TimeoutError:
+            except asyncio.TimeoutError:  # lint: disable=EXC002 - drain is best-effort
                 pass
         self._server = None
         self._draining = False
@@ -190,12 +208,8 @@ class QueryServer:
                 writer.write(self._render(503, {"error": "overloaded"}, close=True))
                 await writer.drain()
             except (ConnectionResetError, BrokenPipeError):
-                pass
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
-                pass
+                self.stats.peer_disconnects += 1
+            await _close_quietly(writer)
             return
 
         self.stats.connections_accepted += 1
@@ -231,14 +245,10 @@ class QueryServer:
                 if close:
                     break
         except (ConnectionResetError, BrokenPipeError):
-            pass
+            self.stats.peer_disconnects += 1
         finally:
             self._connections.discard(writer)
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
-                pass
+            await _close_quietly(writer)
             self.stats.active_connections -= 1
             if self.stats.active_connections == 0:
                 self._idle.set()

@@ -157,7 +157,7 @@ async def run_load(
             writer.close()
             try:
                 await writer.wait_closed()
-            except (OSError, asyncio.IncompleteReadError):
+            except (OSError, asyncio.IncompleteReadError):  # lint: disable=EXC002 - dead conn teardown
                 pass
 
     await asyncio.gather(*(_client(index) for index in range(connections)))

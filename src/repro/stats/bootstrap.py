@@ -14,6 +14,8 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from repro.sim.rng import analysis_rng
+
 __all__ = ["BootstrapCI", "bootstrap_proportion", "overlap_ci"]
 
 
@@ -50,7 +52,7 @@ def bootstrap_proportion(
     array = np.fromiter((bool(flag) for flag in flags), dtype=bool)
     if array.size == 0:
         return BootstrapCI(0.0, 0.0, 0.0, confidence, resamples)
-    rng = rng or np.random.default_rng(0)
+    rng = rng or analysis_rng("bootstrap-proportion")
     estimate = 100.0 * float(array.mean())
     samples = rng.choice(array, size=(resamples, array.size), replace=True)
     means = 100.0 * samples.mean(axis=1)
