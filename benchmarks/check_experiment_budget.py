@@ -15,7 +15,10 @@ Budget per experiment::
 
 X3 is excluded by default: a cold X3 orchestrates two full off-year
 simulations, which is a build, not an analysis — its timing is covered
-by the ``x3_cache`` field of the bench record instead.
+by the ``x3_cache`` field of the bench record instead.  X5 is excluded
+for the same reason: its self-check re-runs the base-year simulation
+with enforcement on, so it costs ~1× simulation by construction; its
+timing lives in the bench record's ``incident`` fields.
 
 Usage::
 
@@ -55,7 +58,7 @@ def main(argv: list[str] | None = None) -> int:
                              "on tiny runs (default 2.0)")
     parser.add_argument("--experiments", nargs="*", default=None, metavar="ID",
                         help="experiment ids to check (default: all for the "
-                             "year except X3)")
+                             "year except X3/X5)")
     args = parser.parse_args(argv)
 
     experiments = args.experiments
@@ -67,7 +70,7 @@ def main(argv: list[str] | None = None) -> int:
             experiment_id
             for experiment_id in ALL_EXPERIMENTS
             if EXPERIMENT_YEARS.get(experiment_id, args.year) == args.year
-            and experiment_id != "X3"
+            and experiment_id not in ("X3", "X5")
         ]
 
     with tempfile.NamedTemporaryFile(suffix=".json") as artifact:

@@ -26,6 +26,8 @@ from repro.honeypots.base import VantagePoint
 
 __all__ = [
     "build_blocklist",
+    "load_blocklist_file",
+    "write_blocklist_file",
     "BlocklistCoverage",
     "blocklist_coverage",
     "RegionalCell",
@@ -59,6 +61,36 @@ def build_blocklist(
     return blocklist
 
 
+def load_blocklist_file(path) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Load an external blocklist file as ``(ips, asns)`` tuples.
+
+    Thin wrapper over the typed schema layer's
+    :func:`~repro.serve.schema.validate_blocklist_file`, so the CLI,
+    the X1 external-file mode, and the closed-loop baseline all share
+    one parser with one error shape.
+    """
+    from repro.serve.schema import validate_blocklist_file
+
+    return validate_blocklist_file(path)
+
+
+def write_blocklist_file(path, ips: Iterable[int] = (), asns: Iterable[int] = ()) -> int:
+    """Write a blocklist file in the format :func:`load_blocklist_file`
+    reads (dotted-quad IPs, ``AS<number>`` lines).  Returns the entry
+    count.  Entries are written sorted, so identical sets produce
+    byte-identical files."""
+    lines = []
+    for ip in sorted({int(ip) for ip in ips}):
+        lines.append(
+            f"{(ip >> 24) & 0xFF}.{(ip >> 16) & 0xFF}.{(ip >> 8) & 0xFF}.{ip & 0xFF}"
+        )
+    lines.extend(f"AS{asn}" for asn in sorted({int(asn) for asn in asns}))
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)
+
+
 @dataclass(frozen=True)
 class BlocklistCoverage:
     """How well a blocklist protects a target vantage set."""
@@ -87,10 +119,16 @@ def blocklist_coverage(
     blocklist: Iterable[int],
     vantages: Sequence[VantagePoint],
     from_hour: float = 0.0,
+    asns: Iterable[int] = (),
 ) -> BlocklistCoverage:
     """Evaluate a blocklist against the malicious traffic at ``vantages``
-    from ``from_hour`` onward (use the training split's end)."""
+    from ``from_hour`` onward (use the training split's end).
+
+    ``asns`` extends the match beyond source IPs: an event is blocked if
+    its source IP *or* its source AS is listed (external blocklist files
+    and incident-response runbooks both emit AS entries)."""
     blocked_set = set(blocklist)
+    blocked_asns = set(asns)
     malicious_events = blocked_events = 0
     malicious_ips: set[int] = set()
     blocked_ips: set[int] = set()
@@ -102,11 +140,11 @@ def blocklist_coverage(
                 continue
             malicious_events += 1
             malicious_ips.add(event.src_ip)
-            if event.src_ip in blocked_set:
+            if event.src_ip in blocked_set or event.src_asn in blocked_asns:
                 blocked_events += 1
                 blocked_ips.add(event.src_ip)
     return BlocklistCoverage(
-        blocklist_size=len(blocked_set),
+        blocklist_size=len(blocked_set) + len(blocked_asns),
         malicious_events=malicious_events,
         blocked_events=blocked_events,
         malicious_ips=len(malicious_ips),

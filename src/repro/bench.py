@@ -23,8 +23,8 @@ import os
 import time
 from typing import Optional, Sequence
 
-__all__ = ["run_bench", "run_stream_bench", "run_serve_bench", "append_record",
-           "DEFAULT_ARTIFACT", "main"]
+__all__ = ["run_bench", "run_stream_bench", "run_serve_bench",
+           "run_incident_bench", "append_record", "DEFAULT_ARTIFACT", "main"]
 
 #: Default JSON artifact, written to the current working directory.
 DEFAULT_ARTIFACT = "BENCH_simulation.json"
@@ -351,6 +351,102 @@ def run_stream_bench(
         f"state ~{record['state_bytes']:,} B, "
         f"{bus.stats.dropped_events} dropped / "
         f"{bus.stats.backpressure_flushes} backpressure flush(es); "
+        f"record appended to {written}"
+    )
+    return record
+
+
+def run_incident_bench(
+    scale: float = 0.1,
+    telescope_slash24s: int = 8,
+    seed: int = 777,
+    year: int = 2021,
+    artifact: Optional[str] = None,
+    quiet: bool = False,
+) -> dict:
+    """Benchmark the incident closed loop; append the record.
+
+    Times two things over one simulated window: the detection pass alone
+    (``detect_incidents`` over the canonical hour-major replay — the cost
+    a ``watch --incidents`` session pays on top of plain ingest) and the
+    full X5 closed loop (detection + shard-wise blocked-volume scan +
+    static-baseline arm + the enforced re-simulation self-check).  The
+    record carries the loop's headline quality numbers — mean detection
+    latency and auto/static volume reduction — alongside the wall
+    clocks, so a regression in either speed or efficacy shows up in the
+    same artifact.
+    """
+    from repro.analysis.dataset import AnalysisDataset
+    from repro.deployment.fleet import build_full_deployment
+    from repro.experiments import ExperimentConfig, ExperimentContext
+    from repro.experiments.context import _WINDOWS
+    from repro.experiments.ext_closed_loop import closed_loop_metrics
+    from repro.incident.pipeline import detect_incidents
+    from repro.scanners.population import PopulationConfig, build_population
+    from repro.sim.engine import SimulationConfig, run_simulation
+    from repro.sim.rng import RngHub
+
+    def _say(message: str) -> None:
+        if not quiet:
+            print(message, flush=True)
+
+    config = ExperimentConfig(
+        year=year, scale=scale, telescope_slash24s=telescope_slash24s, seed=seed
+    )
+    hub = RngHub(seed)
+    deployment = build_full_deployment(hub, num_telescope_slash24s=telescope_slash24s)
+    population = build_population(PopulationConfig(year=year, scale=scale))
+    started = time.perf_counter()
+    result = run_simulation(
+        deployment, population, SimulationConfig(seed=seed, window=_WINDOWS[year])
+    )
+    simulate_seconds = time.perf_counter() - started
+    dataset = AnalysisDataset.from_simulation(result)
+    context = ExperimentContext(
+        config=config, deployment=deployment, result=result, dataset=dataset
+    )
+    _say(f"simulated {result.total_events():,} events in {simulate_seconds:.2f}s; "
+         f"running detection ...")
+
+    started = time.perf_counter()
+    pipeline = detect_incidents(dataset)
+    detection_seconds = time.perf_counter() - started
+    summary = pipeline.summary()
+    _say(f"detection pass: {summary['incidents']} incident(s), "
+         f"{summary['actions']} action(s) in {detection_seconds:.2f}s")
+
+    started = time.perf_counter()
+    metrics = closed_loop_metrics(context, verify_resim=True)
+    closed_loop_seconds = time.perf_counter() - started
+    record = {
+        "timestamp": _timestamp(),
+        "kind": "incident-bench",
+        "scale": scale,
+        "telescope_slash24s": telescope_slash24s,
+        "seed": seed,
+        "year": year,
+        "events": result.total_events(),
+        "simulate_seconds": round(simulate_seconds, 4),
+        "detection_seconds": round(detection_seconds, 4),
+        "closed_loop_seconds": round(closed_loop_seconds, 4),
+        "incidents": metrics["incidents"],
+        "actions": metrics["actions"],
+        "blocklist_entries": len(metrics["blocklist_entries"]),
+        "mean_detection_latency_hours": metrics["mean_detection_latency_hours"],
+        "auto_volume_reduction_pct": metrics["auto_volume_reduction_pct"],
+        "static_volume_reduction_pct": metrics["static_volume_reduction_pct"],
+        "resim_exact": bool(metrics["resim"] and metrics["resim"]["exact"]),
+        "audit_digest": metrics["audit_digest"],
+    }
+    written = append_record(record, artifact)
+    latency = record["mean_detection_latency_hours"]
+    _say(
+        f"closed loop in {closed_loop_seconds:.2f}s: "
+        f"{record['auto_volume_reduction_pct']:.1f}% auto volume reduction "
+        f"(static {record['static_volume_reduction_pct']:.1f}%), "
+        f"mean detection latency "
+        + (f"{latency:.1f}h" if latency is not None else "n/a")
+        + f", re-simulation exact={record['resim_exact']}; "
         f"record appended to {written}"
     )
     return record

@@ -44,6 +44,10 @@ def _build_parser() -> argparse.ArgumentParser:
     runner = subparsers.add_parser("run", help="run one or more experiments")
     runner.add_argument("experiments", nargs="+",
                         help="experiment ids (T1..T17, F1, M1, X1..X3) or 'all'")
+    runner.add_argument("--blocklist", default=None, metavar="FILE",
+                        help="external blocklist file (dotted-quad IPs and "
+                             "AS<number> lines) for drivers that accept one "
+                             "(X1 evaluates it in place of the regional lists)")
     runner.add_argument("--output", default=None, metavar="REPORT.md",
                         help="additionally write the results as a Markdown report")
     _add_sim_args(runner)
@@ -102,6 +106,10 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--stream", action="store_true",
                        help="benchmark sustained ingest through the streaming "
                             "subsystem instead of the simulate→analyze path")
+    bench.add_argument("--incident", action="store_true",
+                       help="benchmark the incident closed loop: detection "
+                            "seconds, detection latency, volume reduction, "
+                            "and the enforced re-simulation self-check")
     bench.add_argument("--serve", action="store_true",
                        help="benchmark the HTTP serving layer: live queries "
                             "during ingest, then sustained concurrent load "
@@ -157,6 +165,13 @@ def _build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--host", default="127.0.0.1")
     watch.add_argument("--max-connections", type=int, default=0,
                        help="live source: concurrent-session cap (0 = unlimited)")
+    watch.add_argument("--no-incidents", action="store_true",
+                       help="disable incident detection (on by default)")
+    watch.add_argument("--audit-log", default=None, metavar="FILE",
+                       help="write the incident audit log (NDJSON) here at the end")
+    watch.add_argument("--format", default="text", choices=("text", "json"),
+                       help="snapshot rendering: tables or one JSON object "
+                            "per snapshot (default text)")
 
     honeypots = subparsers.add_parser(
         "honeypots", help="run live honeypots on loopback and print captures"
@@ -203,6 +218,27 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="simulate source: Space-Saving capacity (default 64)")
     serve.add_argument("--queue-events", type=int, default=65536,
                        help="simulate source: bus buffer bound in events (default 65536)")
+    serve.add_argument("--incidents", action="store_true",
+                       help="simulate source: run live incident detection and "
+                            "serve /incidents and /actions (run-dir backends "
+                            "always serve them, computed post hoc)")
+
+    respond = subparsers.add_parser(
+        "respond",
+        help="post-hoc incident detection + runbook response over an "
+             "orchestrate run directory: prints the incident census and "
+             "writes the audit log / emitted blocklist",
+    )
+    respond.add_argument("--run-dir", required=True, metavar="DIR",
+                         help="a completed 'cloudwatching orchestrate' output")
+    respond.add_argument("--audit-log", default=None, metavar="FILE",
+                         help="write the NDJSON audit log here")
+    respond.add_argument("--blocklist-out", default=None, metavar="FILE",
+                         help="write the emitted blocklist here (AS<number> "
+                              "lines, the format 'run X1 --blocklist' reads)")
+    respond.add_argument("--quiet-hours", type=int, default=12,
+                         help="hours of silence before an incident resolves "
+                              "(default 12)")
 
     lint = subparsers.add_parser(
         "lint",
@@ -287,6 +323,28 @@ def _command_run(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         return 2
+    blocklist_path = getattr(args, "blocklist", None)
+    if blocklist_path is not None:
+        import inspect
+
+        takers = [
+            experiment_id for experiment_id in requested
+            if "blocklist_path"
+            in inspect.signature(ALL_EXPERIMENTS[experiment_id]).parameters
+        ]
+        if not takers:
+            print("--blocklist given but none of the requested experiments "
+                  "accept one (X1 does)", file=sys.stderr)
+            return 2
+        from repro.serve.schema import SchemaError, validate_blocklist_file
+
+        try:
+            validate_blocklist_file(blocklist_path)
+        except SchemaError as error:
+            for item in error.as_dict()["errors"]:
+                print(f"error: {item['field']}: {item['message']}",
+                      file=sys.stderr)
+            return 2
     outputs = []
     for experiment_id in requested:
         year = EXPERIMENT_YEARS.get(experiment_id, 2021)
@@ -295,7 +353,11 @@ def _command_run(args: argparse.Namespace) -> int:
             return 2
         context = get_context(config)
         started = time.perf_counter()
-        output = ALL_EXPERIMENTS[experiment_id](context)
+        driver = ALL_EXPERIMENTS[experiment_id]
+        if blocklist_path is not None and experiment_id in takers:
+            output = driver(context, blocklist_path=blocklist_path)
+        else:
+            output = driver(context)
         outputs.append(output)
         print(output.render())
         print(f"[{experiment_id} completed in "
@@ -357,10 +419,24 @@ def _command_orchestrate(args: argparse.Namespace) -> int:
 
 
 def _command_bench(args: argparse.Namespace) -> int:
-    from repro.bench import run_bench, run_serve_bench, run_stream_bench
+    from repro.bench import (
+        run_bench,
+        run_incident_bench,
+        run_serve_bench,
+        run_stream_bench,
+    )
 
     if _sim_config(args) is None:
         return 2
+    if args.incident:
+        run_incident_bench(
+            scale=args.scale,
+            telescope_slash24s=args.telescope,
+            seed=args.seed,
+            year=args.year,
+            artifact=args.output,
+        )
+        return 0
     if args.serve:
         run_serve_bench(
             scale=args.scale,
@@ -442,6 +518,9 @@ def _command_watch(args: argparse.Namespace) -> int:
         max_buffered_events=args.queue_events,
         policy=args.policy,
         trailing_hours=args.trailing_hours,
+        incidents=not args.no_incidents,
+        audit_log=args.audit_log,
+        format=args.format,
     )
     if args.run_dir:
         summary = watch_run_dir(args.run_dir, options, follow_seconds=args.follow)
@@ -463,8 +542,17 @@ def _command_watch(args: argparse.Namespace) -> int:
             return 2
         summary = watch_simulation(config, options)
     bus = summary["bus"]
-    print(f"watch done: {summary['events']:,} events in {summary['seconds']:.2f}s "
-          f"({summary['snapshots']} snapshot(s), {bus['dropped_events']} dropped)")
+    line = (f"watch done: {summary['events']:,} events in {summary['seconds']:.2f}s "
+            f"({summary['snapshots']} snapshot(s), {bus['dropped_events']} dropped)")
+    incidents = summary.get("incidents")
+    if incidents is not None:
+        line += (f"; {incidents['incidents']} incident(s), "
+                 f"{incidents['actions']} action(s)")
+    print(line)
+    audit = summary.get("audit_log")
+    if audit is not None:
+        print(f"audit log: {audit['records']} record(s) -> {audit['path']} "
+              f"(digest {audit['digest'][:12]})")
     return 0
 
 
@@ -547,6 +635,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             leak_experiment=deployment.leak_experiment,
             sketch_k=args.sketch_k,
             max_buffered_events=args.queue_events,
+            incidents=args.incidents,
         )
 
         def _ingest() -> None:
@@ -588,6 +677,65 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_respond(args: argparse.Namespace) -> int:
+    from collections import Counter
+
+    from repro.incident.pipeline import detect_incidents
+    from repro.reporting.tables import render_table
+    from repro.serve.backends import load_run_dir
+
+    try:
+        config, dataset, digest = load_run_dir(args.run_dir)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    events = sum(len(t) for t in dataset.tables.values())
+    print(f"responding over {args.run_dir}: {events:,} events, "
+          f"seed {config.seed}, dataset digest {digest[:12]}")
+    started = time.perf_counter()
+    pipeline = detect_incidents(dataset, quiet_hours=args.quiet_hours)
+    elapsed = time.perf_counter() - started
+
+    by_rule: Counter = Counter()
+    for incident in pipeline.store.history:
+        by_rule[incident.rule] += 1
+    actions_by_kind = Counter(
+        record["action"] for record in pipeline.audit.actions()
+    )
+    print(render_table(
+        ["rule", "incidents"],
+        [(rule, by_rule[rule]) for rule in sorted(by_rule)],
+        title="incident census",
+    ))
+    summary = pipeline.summary()
+    line = (f"{summary['incidents']} incident(s) "
+            f"({summary['resolved']} resolved), "
+            f"{summary['actions']} action(s) ("
+            + "/".join(f"{kind}:{count}"
+                       for kind, count in sorted(actions_by_kind.items()))
+            + f"), {len(pipeline.executor.blocklist)} blocklist entr"
+            + ("y" if len(pipeline.executor.blocklist) == 1 else "ies")
+            + f" in {elapsed:.2f}s")
+    if summary["last_action"]:
+        line += f"; last action: {summary['last_action']}"
+    print(line)
+    if args.audit_log:
+        records = pipeline.audit.write(args.audit_log)
+        print(f"audit log: {records} record(s) -> {args.audit_log} "
+              f"(digest {pipeline.audit.digest()[:12]})")
+    if args.blocklist_out:
+        from repro.analysis.blocklists import write_blocklist_file
+
+        count = write_blocklist_file(
+            args.blocklist_out,
+            asns=(entry.asn for entry in pipeline.executor.blocklist),
+        )
+        print(f"blocklist: {count} entr"
+              + ("y" if count == 1 else "ies")
+              + f" -> {args.blocklist_out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -606,6 +754,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_honeypots(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "respond":
+        return _command_respond(args)
     if args.command == "lint":
         from repro.lint.cli import main as lint_main
 

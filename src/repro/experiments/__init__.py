@@ -39,6 +39,7 @@ def _all_experiments():
     from repro.experiments import (
         ext_blocklists,
         ext_campaigns,
+        ext_closed_loop,
         ext_recommendations,
         ext_temporal_stability,
         temporal,
@@ -68,6 +69,7 @@ def _all_experiments():
         "X2": ext_campaigns.run,
         "X3": ext_temporal_stability.run,
         "X4": ext_recommendations.run,
+        "X5": ext_closed_loop.run,
     }
 
 

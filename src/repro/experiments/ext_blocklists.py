@@ -2,22 +2,52 @@
 
 Builds continent-sourced blocklists from the first half of the week and
 measures how much of each continent's second-half malicious traffic they
-would have blocked.
+would have blocked.  With ``blocklist_path`` the continent-sourced lists
+are replaced by one external file (paper-static or incident-emitted),
+evaluated through the exact same coverage machinery.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.analysis.blocklists import regional_blocklist_matrix
+from repro.analysis.blocklists import (
+    CONTINENT_GROUPS,
+    RegionalCell,
+    _continent_vantages,
+    blocklist_coverage,
+    load_blocklist_file,
+    regional_blocklist_matrix,
+)
 from repro.experiments.base import ExperimentOutput, resolve_context
 from repro.experiments.context import ExperimentContext
 from repro.reporting.tables import render_table
 
 
-def run(context: Optional[ExperimentContext] = None) -> ExperimentOutput:
+def run(
+    context: Optional[ExperimentContext] = None,
+    blocklist_path: Optional[str] = None,
+) -> ExperimentOutput:
     context = resolve_context(context)
-    cells = regional_blocklist_matrix(context.dataset)
+    if blocklist_path is not None:
+        ips, asns = load_blocklist_file(blocklist_path)
+        train_hours = context.dataset.window.hours / 2.0
+        cells = [
+            RegionalCell(
+                "file",
+                group,
+                blocklist_coverage(
+                    context.dataset,
+                    ips,
+                    _continent_vantages(context.dataset, group),
+                    from_hour=train_hours,
+                    asns=asns,
+                ),
+            )
+            for group in CONTINENT_GROUPS
+        ]
+    else:
+        cells = regional_blocklist_matrix(context.dataset)
     rows = [
         (
             cell.source_group,
@@ -33,13 +63,21 @@ def run(context: Optional[ExperimentContext] = None) -> ExperimentOutput:
          "Malicious-event coverage"],
         rows,
     )
-    home = {c.target_group: c.coverage.event_coverage_pct
-            for c in cells if c.source_group == c.target_group}
-    imported_ap = [c.coverage.event_coverage_pct for c in cells
-                   if c.target_group == "AP" and c.source_group != "AP"]
-    text += (
-        f"\nAP home coverage {home.get('AP', 0):.0f}% vs best imported "
-        f"{max(imported_ap, default=0):.0f}% — regional campaigns make "
-        "exported blocklists weakest in Asia Pacific."
-    )
+    if blocklist_path is not None:
+        overall = [c.coverage.event_coverage_pct for c in cells]
+        text += (
+            f"\nExternal blocklist ({blocklist_path}): mean second-half "
+            f"malicious-event coverage {sum(overall) / len(overall):.0f}% "
+            "across continents."
+        )
+    else:
+        home = {c.target_group: c.coverage.event_coverage_pct
+                for c in cells if c.source_group == c.target_group}
+        imported_ap = [c.coverage.event_coverage_pct for c in cells
+                       if c.target_group == "AP" and c.source_group != "AP"]
+        text += (
+            f"\nAP home coverage {home.get('AP', 0):.0f}% vs best imported "
+            f"{max(imported_ap, default=0):.0f}% — regional campaigns make "
+            "exported blocklists weakest in Asia Pacific."
+        )
     return ExperimentOutput("X1", "Regional blocklist efficacy", text, cells)

@@ -1,0 +1,233 @@
+"""Incident objects, the correlating store, and the NDJSON audit log.
+
+An :class:`Incident` is the unit operators reason about: one underlying
+condition (one campaign, one leaking credential set, one spiking
+vantage), however many times its rule re-fires.  The store enforces:
+
+* **dedup/correlation** — signals sharing a correlation key update the
+  existing incident instead of opening a new one;
+* **a deterministic lifecycle** — ``open`` when first signaled,
+  ``acknowledged`` once a runbook has responded, ``resolved`` after the
+  signal has been quiet for ``quiet_hours`` sealed hours (and at end of
+  stream).  Transitions happen at sealed event-time hours only;
+* **append-only persistence** — every transition and every runbook
+  action lands in the :class:`AuditLog` in occurrence order, serialized
+  as canonical NDJSON (sorted keys), so two runs of the same seed
+  produce byte-identical logs regardless of sharding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.incident.rules import Signal
+
+__all__ = ["Incident", "IncidentStore", "AuditLog"]
+
+#: Lifecycle states, in order.
+STATUSES = ("open", "acknowledged", "resolved")
+
+
+@dataclass
+class Incident:
+    """One correlated condition with a deterministic lifecycle."""
+
+    incident_id: str
+    key: str
+    rule: str
+    runbook: Optional[str]
+    severity: str
+    summary: str
+    offenders: tuple
+    status: str
+    opened_hour: int
+    last_hour: int
+    signals: int = 1
+    resolved_hour: Optional[int] = None
+
+    @property
+    def active(self) -> bool:
+        return self.status != "resolved"
+
+    def as_dict(self) -> dict:
+        return {
+            "id": self.incident_id,
+            "key": self.key,
+            "rule": self.rule,
+            "runbook": self.runbook,
+            "severity": self.severity,
+            "summary": self.summary,
+            "offenders": [[kind, value] for kind, value in self.offenders],
+            "status": self.status,
+            "opened_hour": self.opened_hour,
+            "last_hour": self.last_hour,
+            "signals": self.signals,
+            "resolved_hour": self.resolved_hour,
+        }
+
+
+class AuditLog:
+    """Append-only record of everything the pipeline decided and did."""
+
+    def __init__(self) -> None:
+        self._records: list[dict] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> list[dict]:
+        return list(self._records)
+
+    def append(self, record: dict) -> None:
+        self._records.append(record)
+
+    def actions(self, kind: Optional[str] = None) -> list[dict]:
+        """The runbook-action records, optionally one action kind only."""
+        return [
+            record for record in self._records
+            if record.get("record") == "action"
+            and (kind is None or record.get("action") == kind)
+        ]
+
+    def to_ndjson(self) -> str:
+        """Canonical NDJSON: one sorted-key JSON object per line."""
+        return "".join(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+            for record in self._records
+        )
+
+    def digest(self) -> str:
+        """Content address of the whole log (sharding-invariance check)."""
+        return hashlib.sha256(self.to_ndjson().encode("utf-8")).hexdigest()
+
+    def write(self, path) -> int:
+        """Persist as NDJSON; returns the number of records written."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_ndjson())
+        return len(self._records)
+
+
+class IncidentStore:
+    """Correlate signals into incidents and walk their lifecycle."""
+
+    def __init__(self, audit: Optional[AuditLog] = None, quiet_hours: int = 12) -> None:
+        self.audit = audit if audit is not None else AuditLog()
+        self.quiet_hours = int(quiet_hours)
+        self.history: list[Incident] = []  # every incident, in id order
+        self._active: dict[str, Incident] = {}  # correlation key -> incident
+        self._next_id = 1
+
+    # -- ingest ---------------------------------------------------------
+
+    def ingest(self, signals: list[Signal], hour: int) -> list[Incident]:
+        """Fold one hour's signals in; returns the newly opened incidents."""
+        opened: list[Incident] = []
+        for signal in signals:
+            incident = self._active.get(signal.key)
+            if incident is not None:
+                incident.last_hour = hour
+                incident.signals += 1
+                incident.summary = signal.summary
+                self.audit.append({
+                    "record": "incident",
+                    "event": "signal",
+                    "hour": hour,
+                    "id": incident.incident_id,
+                    "rule": signal.rule,
+                    "signals": incident.signals,
+                    "details": dict(signal.details),
+                })
+                continue
+            incident = Incident(
+                incident_id=f"INC-{self._next_id:04d}",
+                key=signal.key,
+                rule=signal.rule,
+                runbook=None,
+                severity=signal.severity,
+                summary=signal.summary,
+                offenders=tuple(signal.offenders),
+                status="open",
+                opened_hour=hour,
+                last_hour=hour,
+            )
+            self._next_id += 1
+            self._active[signal.key] = incident
+            self.history.append(incident)
+            opened.append(incident)
+            self.audit.append({
+                "record": "incident",
+                "event": "open",
+                "hour": hour,
+                "id": incident.incident_id,
+                "key": incident.key,
+                "rule": incident.rule,
+                "severity": incident.severity,
+                "summary": incident.summary,
+                "offenders": [[kind, value] for kind, value in incident.offenders],
+                "details": dict(signal.details),
+            })
+        return opened
+
+    # -- lifecycle ------------------------------------------------------
+
+    def acknowledge(self, incident: Incident, hour: int, runbook: str) -> None:
+        """A runbook responded: open → acknowledged."""
+        if incident.status != "open":
+            return
+        incident.status = "acknowledged"
+        incident.runbook = runbook
+        self.audit.append({
+            "record": "incident",
+            "event": "acknowledge",
+            "hour": hour,
+            "id": incident.incident_id,
+            "runbook": runbook,
+        })
+
+    def resolve(self, incident: Incident, hour: int, reason: str) -> None:
+        if incident.status == "resolved":
+            return
+        incident.status = "resolved"
+        incident.resolved_hour = hour
+        self._active.pop(incident.key, None)
+        self.audit.append({
+            "record": "incident",
+            "event": "resolve",
+            "hour": hour,
+            "id": incident.incident_id,
+            "reason": reason,
+        })
+
+    def resolve_quiet(self, hour: int) -> int:
+        """Resolve incidents quiet for ``quiet_hours``; returns how many."""
+        resolved = 0
+        for incident in list(self._active.values()):
+            if hour - incident.last_hour >= self.quiet_hours:
+                self.resolve(incident, hour, reason="quiet")
+                resolved += 1
+        return resolved
+
+    def resolve_all(self, hour: int) -> int:
+        """End of stream: everything still active resolves."""
+        resolved = 0
+        for incident in list(self._active.values()):
+            self.resolve(incident, hour, reason="end-of-stream")
+            resolved += 1
+        return resolved
+
+    # -- views ----------------------------------------------------------
+
+    def counts(self) -> dict:
+        tally = {status: 0 for status in STATUSES}
+        for incident in self.history:
+            tally[incident.status] += 1
+        return tally
+
+    def by_status(self, status: Optional[str] = None) -> list[Incident]:
+        if status is None:
+            return list(self.history)
+        return [incident for incident in self.history if incident.status == status]

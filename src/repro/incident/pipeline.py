@@ -1,0 +1,216 @@
+"""Wiring: the bus-attached pipeline and the canonical dataset replay.
+
+Two ways to run detection:
+
+* **live** — :class:`IncidentPipeline` subscribes to the same
+  :class:`~repro.stream.bus.StreamBus` as the analyzer (always *after*
+  it, so each chunk is sketched before rules see the hour advance) and
+  evaluates rules as tumbling hours seal;
+* **post-hoc** — :func:`detect_incidents` replays a merged
+  :class:`~repro.analysis.dataset.AnalysisDataset` through a fresh
+  analyzer + pipeline in **canonical order**: hour-major, vantage-minor
+  (sorted ids), original row order within each (vantage, hour) cell.
+
+The canonical order is the determinism keystone: the orchestrator's
+merged datasets are bit-identical across shard counts, and the replay
+order is a pure function of the merged tables — so the audit log of a
+1-shard, 2-shard and 4-shard run of the same seed is byte-identical.
+
+The replay is cheap: per vantage one stable argsort by hour bin and one
+fancy-index per column, then every (vantage, hour) cell publishes as a
+zero-copy ``[lo, hi)`` slice of the pre-sorted columns.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+import numpy as np
+
+from repro.incident.incidents import AuditLog, IncidentStore
+from repro.incident.rules import IncidentRule, default_rules
+from repro.incident.runbooks import RunbookExecutor
+from repro.stream.bus import StreamChunk
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.dataset import AnalysisDataset
+    from repro.stream.analyzer import StreamAnalyzer
+
+__all__ = ["IncidentPipeline", "canonical_chunks", "detect_incidents"]
+
+#: Chunk column name -> EventTable accessor attribute.
+_COLUMN_ACCESSORS = (
+    ("timestamps", "timestamps"),
+    ("src_ip", "src_ip"),
+    ("src_asn", "src_asn"),
+    ("dst_ip", "dst_ip"),
+    ("dst_port", "dst_port"),
+    ("transport_code", "transport_code"),
+    ("handshake", "handshake"),
+    ("payload", "payloads"),
+    ("credentials", "credentials"),
+    ("commands", "commands"),
+)
+
+
+class IncidentPipeline:
+    """Rules + store + executor behind one ``consume(chunk)`` face."""
+
+    def __init__(
+        self,
+        analyzer: "StreamAnalyzer",
+        rules: Optional[tuple[IncidentRule, ...]] = None,
+        quiet_hours: int = 12,
+        audit: Optional[AuditLog] = None,
+    ) -> None:
+        self.analyzer = analyzer
+        self.rules = tuple(rules) if rules is not None else default_rules()
+        self.audit = audit if audit is not None else AuditLog()
+        self.store = IncidentStore(self.audit, quiet_hours=quiet_hours)
+        #: vantage id -> region, learned from chunks (reweight targets).
+        self.regions: dict[str, str] = {}
+        self.executor = RunbookExecutor(self.audit, self.store, region_of=self.regions.get)
+        self._evaluated_hours = 0
+        self._finalized = False
+
+    # -- ingest ---------------------------------------------------------
+
+    def consume(self, chunk: StreamChunk) -> None:
+        """Bus-subscriber hook; must run after the analyzer's consume."""
+        self.regions.setdefault(chunk.vantage_id, chunk.region)
+        for rule in self.rules:
+            rule.observe(chunk)
+        self._advance(self.analyzer.windows.sealed_hours())
+
+    def finalize(self) -> None:
+        """End of stream: evaluate through the final (never-sealing) hour.
+
+        The tumbling windows' last hour is right-closed, so the
+        watermark alone can never seal it — the pipeline needs an
+        explicit end-of-stream to evaluate the tail and resolve leftover
+        incidents.  Idempotent.
+        """
+        if self._finalized:
+            return
+        self._finalized = True
+        self._advance(self.analyzer.hours, final=True)
+        self.store.resolve_all(max(self.analyzer.hours - 1, 0))
+
+    # -- evaluation -----------------------------------------------------
+
+    def _advance(self, through_hour: int, final: bool = False) -> None:
+        while self._evaluated_hours < through_hour:
+            hour = self._evaluated_hours
+            last = final and hour == through_hour - 1
+            self._evaluate(hour, last)
+            self._evaluated_hours += 1
+
+    def _evaluate(self, hour: int, last: bool) -> None:
+        signals = []
+        for rule in self.rules:
+            if last or (hour + 1) % rule.cadence == 0:
+                signals.extend(rule.evaluate(self.analyzer, hour))
+        opened = self.store.ingest(signals, hour)
+        for incident in opened:
+            rule = self._rule_named(incident.rule)
+            if rule is not None:
+                self.executor.execute(incident, rule.runbook, hour)
+        self.store.resolve_quiet(hour)
+
+    def _rule_named(self, name: str) -> Optional[IncidentRule]:
+        for rule in self.rules:
+            if rule.name == name:
+                return rule
+        return None
+
+    # -- views ----------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Counts + last action, the shape snapshots and CLIs print."""
+        counts = self.store.counts()
+        last = self.executor.last_action()
+        last_text = None
+        if last is not None:
+            parts = [f"{last['action']}"]
+            for key in ("asn", "service", "region"):
+                if key in last:
+                    prefix = "AS" if key == "asn" else ""
+                    parts.append(f"{prefix}{last[key]}")
+            last_text = " ".join(parts) + f" (hour {last['hour']}, {last['incident']})"
+        return {
+            "open": counts["open"],
+            "acknowledged": counts["acknowledged"],
+            "resolved": counts["resolved"],
+            "incidents": len(self.store.history),
+            "actions": self.executor.action_count(),
+            "blocklist_entries": len(self.executor.blocklist),
+            "audit_records": len(self.audit),
+            "last_action": last_text,
+        }
+
+
+def canonical_chunks(tables: dict, hours: int) -> Iterator[StreamChunk]:
+    """Replay merged per-vantage tables in the canonical stream order.
+
+    Hour-major, then vantage id (sorted), then original table row order
+    — the stable argsort by hour bin preserves intra-hour row order, so
+    the yielded row sequence is a pure function of the merged tables.
+    """
+    hours = int(hours)
+    prepared = []
+    for vantage_id in sorted(tables):
+        table = tables[vantage_id]
+        if len(table) == 0:
+            continue
+        stamps = np.asarray(table.timestamps, dtype=np.float64)
+        # hourly_volumes binning: final bin right-closed, so ts == hours
+        # lands in the last hour.
+        bins = np.minimum(stamps.astype(np.int64), hours - 1)
+        order = np.argsort(bins, kind="stable")
+        columns = {
+            name: np.asarray(getattr(table, accessor))[order]
+            for name, accessor in _COLUMN_ACCESSORS
+        }
+        bounds = np.searchsorted(bins[order], np.arange(hours + 1))
+        prepared.append((table, columns, bounds))
+    for hour in range(hours):
+        for table, columns, bounds in prepared:
+            lo, hi = int(bounds[hour]), int(bounds[hour + 1])
+            if hi > lo:
+                yield StreamChunk.from_table_chunk(table, columns, lo, hi)
+
+
+def detect_incidents(
+    dataset: "AnalysisDataset",
+    rules: Optional[tuple[IncidentRule, ...]] = None,
+    quiet_hours: int = 12,
+    sketch_k: int = 64,
+) -> IncidentPipeline:
+    """Post-hoc detection over a merged dataset, canonically ordered.
+
+    Returns the finalized pipeline; ``pipeline.audit`` is the complete
+    (byte-stable) audit log and ``pipeline.executor.blocklist`` the
+    auto-emitted entries the closed-loop experiment feeds back.
+    """
+    from repro.stream.analyzer import StreamAnalyzer
+
+    hours = int(dataset.window.hours)
+    tables = dataset.tables
+    if tables is None:  # row-backed dataset (tests): columnarize first
+        from repro.io.table import EventTable
+
+        tables = {
+            vantage_id: EventTable.from_events(rows, vantage_id=vantage_id)
+            for vantage_id, rows in sorted(dataset._by_vantage().items())
+        }
+    analyzer = StreamAnalyzer(
+        hours=hours,
+        sketch_k=sketch_k,
+        leak_experiment=dataset.leak_experiment,
+    )
+    pipeline = IncidentPipeline(analyzer, rules=rules, quiet_hours=quiet_hours)
+    for chunk in canonical_chunks(tables, hours):
+        analyzer.consume(chunk)
+        pipeline.consume(chunk)
+    pipeline.finalize()
+    return pipeline

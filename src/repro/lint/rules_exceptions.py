@@ -16,7 +16,9 @@ from typing import Iterator
 from repro.lint.findings import Finding, Rule, register
 
 #: Worker/retry/watch/serve paths where silent handlers hide incidents.
-_ACCOUNTED_DIRS = ("repro/runner/", "repro/stream/", "repro/serve/")
+_ACCOUNTED_DIRS = (
+    "repro/runner/", "repro/stream/", "repro/serve/", "repro/incident/"
+)
 
 
 def _is_silent(handler: ast.ExceptHandler) -> bool:

@@ -19,11 +19,12 @@ from repro.lint.findings import Finding, Rule, register
 
 #: Files where analyzer/sketch state crosses threads.
 _LOCKED_FILES = ("repro/serve/backends.py",)
-_LOCKED_DIRS = ("repro/stream/",)
+_LOCKED_DIRS = ("repro/stream/", "repro/incident/")
 
 #: Instance attributes that hold cross-thread analyzer/sketch state.
 _GUARDED_ATTRS = frozenset({
     "analyzer", "tracker", "bus", "dataset", "_counters", "_leak_alarm",
+    "pipeline", "_incidents",
 })
 
 #: Attribute names that can hold the shared lock.

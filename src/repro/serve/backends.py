@@ -44,10 +44,12 @@ import numpy as np
 from repro.lint.markers import requires_ingest_lock
 from repro.net.addresses import int_to_ip
 from repro.serve.schema import (
+    ActionsQuery,
     AlarmsQuery,
     CardinalityQuery,
     CompareQuery,
     Characteristic,
+    IncidentsQuery,
     IpQuery,
     NoParamsQuery,
     SchemaError,
@@ -77,6 +79,8 @@ ROUTES = {
     "/compare": (CompareQuery, "compare"),
     "/ip": (IpQuery, "classify"),
     "/alarms": (AlarmsQuery, "alarms"),
+    "/incidents": (IncidentsQuery, "incidents"),
+    "/actions": (ActionsQuery, "actions"),
     "/stats": (NoParamsQuery, "stats"),
 }
 
@@ -108,6 +112,39 @@ def _chi_square_json(result) -> dict:
         "sample_size": int(result.sample_size),
         "valid": bool(result.valid),
         "magnitude": str(result.magnitude) if result.valid else "untestable",
+    }
+
+
+def _incidents_json(pipeline, status: Optional[str], mode: str) -> dict:
+    """The shared ``/incidents`` shape (both backends, one encoder)."""
+    if pipeline is None:
+        return {"backend": mode, "enabled": False,
+                "counts": None, "incidents": []}
+    counts = pipeline.store.counts()
+    return {
+        "backend": mode,
+        "enabled": True,
+        "counts": counts,
+        "incidents": [
+            incident.as_dict() for incident in pipeline.store.by_status(status)
+        ],
+    }
+
+
+def _actions_json(pipeline, action: Optional[str], mode: str) -> dict:
+    """The shared ``/actions`` shape (both backends, one encoder)."""
+    if pipeline is None:
+        return {"backend": mode, "enabled": False,
+                "actions": [], "blocklist": []}
+    return {
+        "backend": mode,
+        "enabled": True,
+        "actions": pipeline.audit.actions(action),
+        "blocklist": [
+            entry.as_dict() for entry in pipeline.executor.blocklist
+        ],
+        "audit_records": len(pipeline.audit),
+        "audit_digest": pipeline.audit.digest(),
     }
 
 
@@ -288,10 +325,14 @@ class LiveBackend(ServeBackend):
         bus=None,
         tracker: Optional[ReputationTracker] = None,
         lock: Optional[threading.Lock] = None,
+        pipeline=None,
     ) -> None:
         self.analyzer = analyzer
         self.bus = bus
         self.tracker = tracker
+        #: Optional live :class:`~repro.incident.pipeline.IncidentPipeline`
+        #: consuming the same bus under the same lock.
+        self.pipeline = pipeline
         self.lock = lock or threading.Lock()
 
     @requires_ingest_lock
@@ -416,6 +457,14 @@ class LiveBackend(ServeBackend):
                 "alarms": [_alarm_json(alarm) for alarm in rows],
             }
 
+    def incidents(self, query: IncidentsQuery) -> dict:
+        with self.lock:
+            return _incidents_json(self.pipeline, query.status, self.mode)
+
+    def actions(self, query: ActionsQuery) -> dict:
+        with self.lock:
+            return _actions_json(self.pipeline, query.action, self.mode)
+
     def stats(self, _query) -> dict:
         with self.lock:
             payload = {
@@ -433,6 +482,8 @@ class LiveBackend(ServeBackend):
                     "capacity": self.tracker.capacity,
                     "evicted": self.tracker.evicted,
                 }
+            if self.pipeline is not None:
+                payload["incidents"] = self.pipeline.summary()
             return payload
 
 
@@ -462,6 +513,7 @@ def build_live_pipeline(
     max_buffered_events: int = 65536,
     policy: str = "backpressure",
     tracker_capacity: int = 65536,
+    incidents: bool = False,
 ):
     """Wire bus → (analyzer, tracker) → LiveBackend for live serving.
 
@@ -469,6 +521,14 @@ def build_live_pipeline(
     tracker consume under one shared lock; the returned backend answers
     queries under the same lock, so an ingest thread can publish while
     an asyncio server reads, with neither seeing torn state.
+
+    ``incidents=True`` additionally wires a live
+    :class:`~repro.incident.pipeline.IncidentPipeline` into the same
+    locked fan-out (after the analyzer, so rules see sketched hours) and
+    exposes it on the backend's ``/incidents`` and ``/actions``
+    endpoints.  Off by default: detection costs rule evaluations per
+    sealed hour, and servers that only answer sketch queries should not
+    pay it.
     """
     from repro.stream.analyzer import StreamAnalyzer
     from repro.stream.bus import StreamBus
@@ -479,8 +539,17 @@ def build_live_pipeline(
         hours=hours, sketch_k=sketch_k, leak_experiment=leak_experiment
     )
     tracker = ReputationTracker(capacity=tracker_capacity)
-    bus.subscribe(LockedConsumer(lock, analyzer, tracker))
-    backend = LiveBackend(analyzer, bus=bus, tracker=tracker, lock=lock)
+    consumers = [analyzer, tracker]
+    pipeline = None
+    if incidents:
+        from repro.incident.pipeline import IncidentPipeline
+
+        pipeline = IncidentPipeline(analyzer)
+        consumers.append(pipeline)
+    bus.subscribe(LockedConsumer(lock, *consumers))
+    backend = LiveBackend(
+        analyzer, bus=bus, tracker=tracker, lock=lock, pipeline=pipeline
+    )
     return bus, analyzer, tracker, backend
 
 
@@ -567,6 +636,7 @@ class RunDirBackend(ServeBackend):
         self.hours = int(self.dataset.window.hours)
         self._counters: dict[tuple[str, str], Counter] = {}
         self._leak_alarm = None
+        self._incidents = None
         self._lock = threading.Lock()
 
     # -- shared aggregates (memoized) ----------------------------------
@@ -627,6 +697,20 @@ class RunDirBackend(ServeBackend):
                 )
             self._leak_alarm = alarm
         return self._leak_alarm
+
+    @requires_ingest_lock
+    def _detect(self):
+        """Post-hoc incident detection over the run, memoized.
+
+        The canonical replay is a pure function of the merged tables, so
+        the pipeline (and its audit digest) answers identically to the
+        live pipeline that watched the same run — that parity is a test.
+        """
+        if self._incidents is None:
+            from repro.incident.pipeline import detect_incidents
+
+            self._incidents = detect_incidents(self.dataset)
+        return self._incidents
 
     # -- endpoints ------------------------------------------------------
 
@@ -777,12 +861,23 @@ class RunDirBackend(ServeBackend):
                 "alarms": [_alarm_json(alarm) for alarm in rows],
             }
 
+    def incidents(self, query: IncidentsQuery) -> dict:
+        with self._lock:
+            return _incidents_json(self._detect(), query.status, self.mode)
+
+    def actions(self, query: ActionsQuery) -> dict:
+        with self._lock:
+            return _actions_json(self._detect(), query.action, self.mode)
+
     def stats(self, _query) -> dict:
         with self._lock:
-            return {
+            payload = {
                 "backend": self.mode,
                 "dataset_digest": self.dataset_digest,
                 "events": int(sum(len(t) for t in self.dataset.tables.values())),
                 "bus": None,
                 "memoized_counters": len(self._counters),
             }
+            if self._incidents is not None:
+                payload["incidents"] = self._incidents.summary()
+            return payload

@@ -33,6 +33,7 @@ __all__ = [
     "Characteristic",
     "MAX_TOP_K",
     "MAX_TRAILING_HOURS",
+    "MAX_BLOCKLIST_BYTES",
     "Contract",
     "TopQuery",
     "CardinalityQuery",
@@ -40,9 +41,12 @@ __all__ = [
     "CompareQuery",
     "IpQuery",
     "AlarmsQuery",
+    "IncidentsQuery",
+    "ActionsQuery",
     "NoParamsQuery",
     "SimulationPayload",
     "validate_simulation_config",
+    "validate_blocklist_file",
 ]
 
 #: Largest ``k`` a top-k / comparison query may request (the Space-Saving
@@ -279,6 +283,53 @@ class AlarmsQuery(Contract):
     PARAMS = {"trailing_hours": (False, _trailing_param)}
 
 
+#: Incident lifecycle states a filter may name.
+INCIDENT_STATUSES = ("open", "acknowledged", "resolved")
+
+#: Runbook action kinds a filter may name.
+ACTION_KINDS = ("block", "rotate", "reweight")
+
+
+def _status_param(raw: str, errors: list[dict]):
+    if raw not in INCIDENT_STATUSES:
+        errors.append({
+            "field": "status",
+            "message": f"unknown (choose from {', '.join(INCIDENT_STATUSES)})",
+            "value": raw,
+        })
+        return None
+    return raw
+
+
+def _action_param(raw: str, errors: list[dict]):
+    if raw not in ACTION_KINDS:
+        errors.append({
+            "field": "action",
+            "message": f"unknown (choose from {', '.join(ACTION_KINDS)})",
+            "value": raw,
+        })
+        return None
+    return raw
+
+
+@dataclass(frozen=True)
+class IncidentsQuery(Contract):
+    """``GET /incidents[?status=...]``"""
+
+    status: Optional[str] = None
+
+    PARAMS = {"status": (False, _status_param)}
+
+
+@dataclass(frozen=True)
+class ActionsQuery(Contract):
+    """``GET /actions[?action=...]``"""
+
+    action: Optional[str] = None
+
+    PARAMS = {"action": (False, _action_param)}
+
+
 @dataclass(frozen=True)
 class NoParamsQuery(Contract):
     """Endpoints that accept no parameters at all."""
@@ -377,3 +428,60 @@ def validate_simulation_config(
     return SimulationPayload(
         year=year, scale=scale, telescope_slash24s=telescope_slash24s, seed=seed
     ).to_config()
+
+
+# -- blocklist files --------------------------------------------------------
+
+#: Size cap on an external blocklist file; anything larger is rejected
+#: before a single line is parsed.
+MAX_BLOCKLIST_BYTES = 4 << 20
+
+
+def validate_blocklist_file(path) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Parse and validate an external blocklist file.
+
+    Line format (the shape ``cloudwatching respond --blocklist-out``
+    emits, so paper-static baselines and closed-loop output round-trip
+    through one parser):
+
+    * blank lines and ``#`` comments are skipped;
+    * ``AS<number>`` blocks a source AS (e.g. ``AS4134``);
+    * anything else must be a dotted-quad (or integer) IPv4 source.
+
+    Returns sorted, deduplicated ``(ips, asns)`` tuples.  All problems —
+    missing file, oversized file, malformed lines — surface as a single
+    :class:`SchemaError` carrying one structured entry per bad line, so
+    callers (CLI, experiment drivers) report every defect at once.
+    """
+    import os
+
+    path = os.fspath(path)
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        raise SchemaError.single("blocklist", "file not found", path) from None
+    if size > MAX_BLOCKLIST_BYTES:
+        raise SchemaError.single(
+            "blocklist", f"file exceeds {MAX_BLOCKLIST_BYTES} bytes", path
+        )
+    errors: list[dict] = []
+    ips: set[int] = set()
+    asns: set[int] = set()
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            field = f"blocklist:{lineno}"
+            if line[:2].upper() == "AS":
+                number = _parse_int(line[2:], field, 0, (1 << 32) - 1, errors)
+                if number is not None:
+                    asns.add(number)
+                continue
+            try:
+                ips.add(parse_ip(line, field=field))
+            except SchemaError as exc:
+                errors.extend(exc.errors)
+    if errors:
+        raise SchemaError(errors)
+    return tuple(sorted(ips)), tuple(sorted(asns))

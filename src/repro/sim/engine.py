@@ -122,11 +122,22 @@ class Simulator:
         config: SimulationConfig | None = None,
         registry: ASRegistry | None = None,
         spec_slice: Optional[tuple[int, int]] = None,
+        enforcer: Optional[object] = None,
     ) -> None:
         self.deployment = deployment
         self.population = list(population)
         self.config = config or SimulationConfig()
         self.registry = registry or default_registry()
+        #: Optional mid-run blocklist (anything with ``keep_mask(timestamps,
+        #: src_asns, src_ips)``, e.g. :class:`repro.incident.ActiveBlocklist`).
+        #: Applied to honeypot intent batches *after* every RNG draw, so an
+        #: enforced run consumes the identical random stream as the baseline
+        #: and captures exactly the baseline's events minus the blocked rows.
+        #: The telescope is passive and stays unfiltered.  Deliberately a
+        #: run parameter, not part of :class:`SimulationConfig` — config
+        #: digests (orchestrator manifests, caches) name the *traffic*,
+        #: which enforcement does not change.
+        self.enforcer = enforcer
         if spec_slice is not None:
             lo, hi = spec_slice
             if not 0 <= lo <= hi <= len(self.population):
@@ -483,8 +494,20 @@ class Simulator:
         )
         batch_asns = source_asns[source_indices]
 
+        if self.enforcer is not None:
+            keep = self.enforcer.keep_mask(batch.timestamps, batch_asns, batch.src_ips)
+            if not keep.all():
+                if not keep.any():
+                    return
+                kept = np.flatnonzero(keep)
+                batch = batch.take(kept)
+                batch_asns = batch_asns[kept]
+                dst_index = dst_index[kept]
+                total = len(kept)
+
         # Dispatch contiguous per-vantage runs (vantages occupy contiguous
-        # index ranges, so sorting is unnecessary).  Capture columns are
+        # index ranges, so sorting is unnecessary; enforcement filtering
+        # preserves order, so runs stay contiguous).  Capture columns are
         # computed once per distinct stack *policy* — every GreyNoise
         # sensor on a non-Cowrie port shares one column set, etc. — and
         # each vantage's table appends a zero-copy [start, stop) view.
@@ -639,11 +662,26 @@ class Simulator:
             ),
         )
         batch_asns = source_asns[source_indices]
+        # Candidate (vantage) index per row; ``selected`` ascends, so the
+        # rows form contiguous per-vantage runs that survive filtering.
+        row_candidates = np.repeat(selected, counts)
+
+        if self.enforcer is not None:
+            keep = self.enforcer.keep_mask(batch.timestamps, batch_asns, batch.src_ips)
+            if not keep.all():
+                if not keep.any():
+                    return
+                kept = np.flatnonzero(keep)
+                batch = batch.take(kept)
+                batch_asns = batch_asns[kept]
+                row_candidates = row_candidates[kept]
+
         scalar = self.config.emission == "scalar"
-        stops = np.cumsum(counts)
-        starts = stops - counts
-        for position, (start, stop) in enumerate(zip(starts.tolist(), stops.tolist())):
-            vantage = candidate_vantages[int(selected[position])]
+        boundaries = np.flatnonzero(np.diff(row_candidates)) + 1
+        starts = np.concatenate(([0], boundaries))
+        stops = np.concatenate((boundaries, [len(row_candidates)]))
+        for start, stop in zip(starts.tolist(), stops.tolist()):
+            vantage = candidate_vantages[int(row_candidates[start])]
             capture = captures[vantage.vantage_id]
             self._dispatch(capture, batch.slice(start, stop), batch_asns[start:stop], scalar)
 
@@ -713,6 +751,7 @@ def run_simulation(
     source_ips: Optional[dict[str, np.ndarray]] = None,
     engines: Optional[dict[str, SearchEngine]] = None,
     tap: Optional[callable] = None,
+    enforcer: Optional[object] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`Simulator` and run it.
 
@@ -722,8 +761,10 @@ def run_simulation(
     events are identical to the corresponding events of a full run.
     ``source_ips``/``engines`` inject precomputed phase-1/2 state (see
     :meth:`Simulator.run`); ``tap`` streams every capture-table append
-    to an observer for the duration of the run.
+    to an observer for the duration of the run; ``enforcer`` filters
+    honeypot batches against an active blocklist post-draw (see
+    :class:`Simulator`), the closed-loop response hook.
     """
-    return Simulator(deployment, population, config, registry, spec_slice).run(
+    return Simulator(deployment, population, config, registry, spec_slice, enforcer=enforcer).run(
         source_ips=source_ips, engines=engines, tap=tap
     )

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
@@ -54,6 +54,8 @@ class StreamSnapshot:
     leak_alarms: list[LeakAlarm] = field(default_factory=list)
     bus_stats: Optional[BusStats] = None
     state_bytes: int = 0
+    #: Incident-pipeline summary (None when detection is not attached).
+    incidents: Optional[dict] = None
 
     def render(self, top_vantages: int = 8) -> str:
         """Plain-text snapshot (what `cloudwatching watch` prints)."""
@@ -98,6 +100,19 @@ class StreamSnapshot:
                  for alarm in self.leak_alarms],
                 title="leak alarms (vs control)",
             ))
+        if self.incidents is not None:
+            inc = self.incidents
+            line = (
+                f"incidents: {inc['open']} open / "
+                f"{inc['acknowledged']} acknowledged / "
+                f"{inc['resolved']} resolved; "
+                f"{inc['actions']} action(s), "
+                f"{inc['blocklist_entries']} blocklist entr"
+                + ("y" if inc["blocklist_entries"] == 1 else "ies")
+            )
+            if inc.get("last_action"):
+                line += f"; last action: {inc['last_action']}"
+            lines.append(line)
         if self.bus_stats is not None:
             stats = self.bus_stats
             lines.append(
@@ -110,12 +125,80 @@ class StreamSnapshot:
             )
         return "\n".join(lines)
 
+    def as_dict(self) -> dict:
+        """JSON-safe snapshot (the ``watch --format json`` shape)."""
+        return {
+            "events": int(self.events),
+            "chunks": int(self.chunks),
+            "vantages": int(self.vantages),
+            "sealed_hours": int(self.sealed_hours),
+            "watermark_hours": float(self.watermark),
+            "state_bytes": int(self.state_bytes),
+            "vantage_rows": [
+                {
+                    "vantage": vid,
+                    "events": int(events),
+                    "rate_per_hour": float(rate),
+                    "distinct_sources": float(distinct),
+                    "spikes": int(spikes),
+                }
+                for vid, events, rate, distinct, spikes in self.vantage_rows
+            ],
+            "top_categories": {
+                name: [
+                    {"vantage": vid,
+                     "top": [_category_json(c) for c in top]}
+                    for vid, top in rows
+                ]
+                for name, rows in self.top_categories.items()
+            },
+            "comparisons": {
+                name: {
+                    "phi": float(result.phi),
+                    "p_value": float(result.p_value),
+                    "sample_size": int(result.sample_size),
+                    "valid": bool(result.valid),
+                    "magnitude": str(result.magnitude) if result.valid else "untestable",
+                }
+                for name, result in self.comparisons.items()
+            },
+            "leak_alarms": [
+                {
+                    "service": alarm.service,
+                    "group": alarm.group,
+                    "fold": float(alarm.fold),
+                    "mwu_p": float(alarm.mwu_p),
+                    "stochastically_greater": bool(alarm.stochastically_greater),
+                    "distribution_differs": bool(alarm.distribution_differs),
+                    "leaked_spikes": int(alarm.leaked_spikes),
+                    "control_spikes": int(alarm.control_spikes),
+                }
+                for alarm in self.leak_alarms
+            ],
+            "bus": self.bus_stats.as_dict() if self.bus_stats is not None else None,
+            "incidents": self.incidents,
+        }
+
 
 def _category_label(category) -> str:
     if isinstance(category, bytes):
         text = category.split(b"\r\n", 1)[0].decode("utf-8", errors="replace")
         return text[:32] or "<binary>"
     return str(category)[:32]
+
+
+def _category_json(category) -> Union[int, str, dict]:
+    """One sketch category as a JSON-safe value (bytes survive base64d)."""
+    import base64
+
+    if isinstance(category, bytes):
+        return {
+            "base64": base64.b64encode(category).decode("ascii"),
+            "text": _category_label(category),
+        }
+    if isinstance(category, (int, np.integer)):
+        return int(category)
+    return str(category)
 
 
 class StreamAnalyzer:
@@ -161,10 +244,18 @@ class StreamAnalyzer:
         timestamps = chunk.resolved("timestamps")
         self.windows.add(vantage_id, timestamps)
 
-        # source AS counts (pre-aggregated per chunk, then sketched)
+        # source AS counts (pre-aggregated per chunk, then sketched);
+        # 1-row chunks (live honeypots, per-hour replay cells) skip the
+        # np.unique machinery — its fixed cost dwarfs the scalar update.
         if "as" in self.contingency:
             asns = chunk.raw("src_asn")
-            if isinstance(asns, np.ndarray):
+            if not isinstance(asns, np.ndarray):
+                self.contingency["as"].update(vantage_id, int(asns), float(length))
+            elif length == 1:
+                self.contingency["as"].update(
+                    vantage_id, int(asns[chunk.start]), 1.0
+                )
+            else:
                 values, counts = np.unique(
                     asns[chunk.start:chunk.stop], return_counts=True
                 )
@@ -172,18 +263,18 @@ class StreamAnalyzer:
                     vantage_id,
                     dict(zip((int(v) for v in values), counts.tolist())),
                 )
-            else:
-                self.contingency["as"].update(vantage_id, int(asns), float(length))
 
         # distinct scanning sources
         hll = self.distinct_sources.get(vantage_id)
         if hll is None:
             hll = self.distinct_sources[vantage_id] = HyperLogLog(self.hll_p)
         src = chunk.raw("src_ip")
-        if isinstance(src, np.ndarray):
-            hll.add_ints(src[chunk.start:chunk.stop])
-        else:
+        if not isinstance(src, np.ndarray):
             hll.add(int(src))
+        elif length == 1:
+            hll.add(int(src[chunk.start]))
+        else:
+            hll.add_ints(src[chunk.start:chunk.stop])
 
         # payload / credential characteristics (object columns)
         if "payload" in self.contingency:

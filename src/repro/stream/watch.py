@@ -61,6 +61,13 @@ class WatchOptions:
     policy: str = "backpressure"
     #: Trailing window (hours) for leak alarms (None = full window).
     trailing_hours: Optional[int] = None
+    #: Run incident detection alongside the sketches (the default; the
+    #: rules piggyback on state the analyzer maintains anyway).
+    incidents: bool = True
+    #: Write the incident audit log here at the end of the watch.
+    audit_log: Optional[str] = None
+    #: Snapshot rendering: "text" tables or one JSON object per snapshot.
+    format: str = "text"
 
 
 class SnapshotPrinter:
@@ -72,11 +79,14 @@ class SnapshotPrinter:
         bus: StreamBus,
         options: WatchOptions,
         say: Callable[[str], None],
+        incidents=None,
     ) -> None:
         self.analyzer = analyzer
         self.bus = bus
         self.options = options
         self.say = say
+        #: The attached IncidentPipeline, when detection is on.
+        self.incidents = incidents
         self.snapshots_rendered = 0
         self._next_at = options.snapshot_events or 0
 
@@ -91,13 +101,20 @@ class SnapshotPrinter:
             while self._next_at <= self.analyzer.events_consumed:
                 self._next_at += options.snapshot_events
 
-    def emit(self) -> None:
+    def emit(self, final: bool = False) -> None:
+        if final and self.incidents is not None:
+            self.incidents.finalize()
         snapshot = self.analyzer.snapshot(
             top_k=self.options.top_k,
             bus_stats=self.bus.stats,
             trailing_hours=self.options.trailing_hours,
         )
-        self.say(snapshot.render())
+        if self.incidents is not None:
+            snapshot.incidents = self.incidents.summary()
+        if self.options.format == "json":
+            self.say(json.dumps(snapshot.as_dict(), sort_keys=True))
+        else:
+            self.say(snapshot.render())
         self.snapshots_rendered += 1
 
 
@@ -111,15 +128,24 @@ def _pipeline(
                     policy=options.policy)
     analyzer = StreamAnalyzer(hours=hours, sketch_k=options.sketch_k,
                               leak_experiment=leak_experiment)
-    printer = SnapshotPrinter(analyzer, bus, options, say)
+    incidents = None
+    if options.incidents:
+        from repro.incident.pipeline import IncidentPipeline
+
+        incidents = IncidentPipeline(analyzer)
+    printer = SnapshotPrinter(analyzer, bus, options, say, incidents=incidents)
     bus.subscribe(analyzer)
+    if incidents is not None:
+        # After the analyzer (rules read sketched hours), before the
+        # printer (snapshots see the hour's incidents).
+        bus.subscribe(incidents)
     bus.subscribe(printer)
     return bus, analyzer, printer
 
 
 def _summary(bus: StreamBus, analyzer: StreamAnalyzer, printer: SnapshotPrinter,
              seconds: float) -> dict:
-    return {
+    summary = {
         "events": analyzer.events_consumed,
         "chunks": analyzer.chunks_consumed,
         "vantages": len(analyzer.events_per_vantage),
@@ -127,7 +153,19 @@ def _summary(bus: StreamBus, analyzer: StreamAnalyzer, printer: SnapshotPrinter,
         "state_bytes": analyzer.state_bytes(),
         "seconds": round(seconds, 4),
         "bus": bus.stats.as_dict(),
+        "incidents": None,
     }
+    pipeline = printer.incidents
+    if pipeline is not None:
+        summary["incidents"] = pipeline.summary()
+        if printer.options.audit_log:
+            records = pipeline.audit.write(printer.options.audit_log)
+            summary["audit_log"] = {
+                "path": printer.options.audit_log,
+                "records": records,
+                "digest": pipeline.audit.digest(),
+            }
+    return summary
 
 
 def stream_table(bus: StreamBus, table, chunk_events: int) -> int:
@@ -190,7 +228,7 @@ def watch_simulation(
     )
     bus.close()
     elapsed = time.perf_counter() - started
-    printer.emit()  # the final snapshot always renders
+    printer.emit(final=True)  # the final snapshot always renders
     return _summary(bus, analyzer, printer, elapsed)
 
 
@@ -304,7 +342,7 @@ def watch_run_dir(
         raise FileNotFoundError(f"no completed shards under {run_dir}")
     bus.close()
     elapsed = time.perf_counter() - started
-    printer.emit()
+    printer.emit(final=True)
     summary = _summary(bus, analyzer, printer, elapsed)
     summary["shards"] = len(processed)
     return summary
@@ -366,7 +404,7 @@ def watch_live(
     started = time.perf_counter()
     extra = asyncio.run(_serve())
     elapsed = time.perf_counter() - started
-    printer.emit()
+    printer.emit(final=True)
     summary = _summary(bus, analyzer, printer, elapsed)
     summary.update(extra)
     return summary

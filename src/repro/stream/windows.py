@@ -150,6 +150,10 @@ class StreamingLeakAlarm:
         self._watch_ips = np.unique(np.fromiter(
             (int(ip) for ip in experiment.all_ips), dtype=np.int64
         ))
+        #: Same membership as ``_watch_ips``, for the small-chunk path —
+        #: ``np.isin``'s fixed cost dwarfs a few set probes on the
+        #: 1-row chunks live honeypots and per-hour replays publish.
+        self._watch_set = {int(ip) for ip in self._watch_ips}
         self._ports = np.asarray([port for _p, port in _LEAK_SERVICES], dtype=np.int64)
 
     def observe(
@@ -161,7 +165,13 @@ class StreamingLeakAlarm:
     ) -> int:
         """Ingest one chunk's columns; returns experiment rows counted."""
         dst_ips = np.asarray(dst_ips, dtype=np.int64)
-        mask = np.isin(dst_ips, self._watch_ips)
+        if dst_ips.size <= 32:
+            mask = np.fromiter(
+                (ip in self._watch_set for ip in dst_ips.tolist()),
+                dtype=bool, count=dst_ips.size,
+            )
+        else:
+            mask = np.isin(dst_ips, self._watch_ips)
         if not mask.any():
             return 0
         dst_ports = np.asarray(dst_ports, dtype=np.int64)[mask]

@@ -30,7 +30,8 @@ from repro.experiments.temporal import (
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        expected = {f"T{i}" for i in range(1, 18)} | {"F1", "M1", "X1", "X2", "X3", "X4"}
+        expected = {f"T{i}" for i in range(1, 18)} | {
+            "F1", "M1", "X1", "X2", "X3", "X4", "X5"}
         assert set(ALL_EXPERIMENTS) == expected
 
 
